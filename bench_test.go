@@ -1,0 +1,358 @@
+package ddsim
+
+// Benchmark harness: one benchmark (family) per table and figure of
+// the paper, plus ablation benches for the design choices DESIGN.md
+// calls out. Regenerate everything with
+//
+//	go test -bench=. -benchmem .
+//
+// Absolute numbers depend on the host; the claims under test are the
+// relative ones (DD vs dense vs sparse scaling, win/loss pattern on
+// the Table Ic families, worker scaling).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/dd"
+	"ddsim/internal/ddback"
+	"ddsim/internal/ddensity"
+	"ddsim/internal/noise"
+	"ddsim/internal/qbench"
+	"ddsim/internal/sim"
+	"ddsim/internal/sparsemat"
+	"ddsim/internal/statevec"
+	"ddsim/internal/stochastic"
+)
+
+// benchRuns is the per-iteration stochastic run count. The paper uses
+// M = 30000; benchmarks use a small M because the per-run cost is the
+// quantity of interest and M is a pure linear factor for every
+// backend alike.
+const benchRuns = 10
+
+func runStochastic(b *testing.B, c *circuit.Circuit, f sim.Factory) {
+	runStochasticM(b, c, f, benchRuns)
+}
+
+func runStochasticM(b *testing.B, c *circuit.Circuit, f sim.Factory, runs int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := stochastic.Run(c, f, noise.PaperDefaults(), stochastic.Options{
+			Runs: runs, Seed: 1, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs != runs {
+			b.Fatalf("completed %d runs", res.Runs)
+		}
+	}
+}
+
+// --- Table Ia: Entanglement (GHZ) circuits -------------------------
+
+func BenchmarkTableIaEntanglementDD(b *testing.B) {
+	for _, n := range []int{21, 32, 48, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runStochastic(b, circuit.GHZ(n), ddback.Factory())
+		})
+	}
+}
+
+func BenchmarkTableIaEntanglementStatevec(b *testing.B) {
+	for _, n := range []int{12, 16, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runStochastic(b, circuit.GHZ(n), statevec.Factory())
+		})
+	}
+}
+
+func BenchmarkTableIaEntanglementSparse(b *testing.B) {
+	for _, n := range []int{12, 16, 18} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runStochastic(b, circuit.GHZ(n), sparsemat.Factory())
+		})
+	}
+}
+
+// --- Table Ib: QFT circuits ----------------------------------------
+
+func BenchmarkTableIbQFTDD(b *testing.B) {
+	for _, n := range []int{12, 16, 20, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runStochastic(b, qbench.QFT(n).Circuit, ddback.Factory())
+		})
+	}
+}
+
+func BenchmarkTableIbQFTStatevec(b *testing.B) {
+	for _, n := range []int{12, 14, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runStochastic(b, qbench.QFT(n).Circuit, statevec.Factory())
+		})
+	}
+}
+
+func BenchmarkTableIbQFTSparse(b *testing.B) {
+	for _, n := range []int{10, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runStochastic(b, qbench.QFT(n).Circuit, sparsemat.Factory())
+		})
+	}
+}
+
+// --- Table Ic: QASMBench-style circuits ----------------------------
+
+func BenchmarkTableIc(b *testing.B) {
+	// The dense families — exactly the paper's loss cases — run with a
+	// reduced M on the DD backend to keep -bench=. affordable (a single
+	// cc_18 DD trajectory costs tens of seconds; that blow-up is the
+	// finding, no need to pay it ten times per iteration).
+	dense := map[string]bool{
+		"basis_trotter_4": true, "vqe_uccsd_6": true, "vqe_uccsd_8": true,
+		"ising_10": true, "cc_18": true,
+	}
+	for _, bench := range qbench.TableIc() {
+		for _, backend := range []struct {
+			name string
+			f    sim.Factory
+		}{
+			{"dd", ddback.Factory()},
+			{"statevec", statevec.Factory()},
+		} {
+			runs := benchRuns
+			if dense[bench.Name] && backend.name == "dd" {
+				runs = 1
+			}
+			b.Run(bench.Name+"/"+backend.name, func(b *testing.B) {
+				runStochasticM(b, bench.Circuit, backend.f, runs)
+			})
+		}
+	}
+}
+
+// --- Fig. 1: decision diagram representations ----------------------
+
+func BenchmarkFig1aVectorDD(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := dd.NewPackage(2)
+		e := p.ZeroState()
+		e = p.MulMV(p.SingleQubitGate(dd.Mat2(circuit.MatH), 0), e)
+		e = p.MulMV(p.ControlledGate(dd.Mat2(circuit.MatX), 1, []dd.Control{{Qubit: 0}}), e)
+		if p.NodeCount(e) != 3 {
+			b.Fatal("Fig 1a diagram shape changed")
+		}
+	}
+}
+
+func BenchmarkFig1bMatrixDD(b *testing.B) {
+	p := dd.NewPackage(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := p.SingleQubitGate(dd.Mat2(circuit.MatZ), 0)
+		if p.NodeCountM(m) != 2 {
+			b.Fatal("Fig 1b diagram shape changed")
+		}
+	}
+}
+
+func BenchmarkFig1cDampingBranches(b *testing.B) {
+	const pDamp = 0.3
+	p := dd.NewPackage(2)
+	e := p.ZeroState()
+	e = p.MulMV(p.SingleQubitGate(dd.Mat2(circuit.MatH), 0), e)
+	e = p.MulMV(p.ControlledGate(dd.Mat2(circuit.MatX), 1, []dd.Control{{Qubit: 0}}), e)
+	a0 := dd.Mat2{{0, complex(math.Sqrt(pDamp), 0)}, {0, 0}}
+	a1 := dd.Mat2{{1, 0}, {0, complex(math.Sqrt(1-pDamp), 0)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, p0 := p.ApplyKraus(e, a0, 0)
+		_, p1 := p.ApplyKraus(e, a1, 0)
+		if math.Abs(p0+p1-1) > 1e-9 {
+			b.Fatal("branch probabilities do not sum to 1")
+		}
+	}
+}
+
+// --- Theorem 1: sample-efficiency of property estimation -----------
+
+func BenchmarkTheorem1Estimation(b *testing.B) {
+	// Estimating 64 outcome probabilities of a noisy 6-qubit QFT from
+	// stochastic samples — the full Monte-Carlo estimation pipeline.
+	c := circuit.QFTWithInput(6, 0b101010)
+	tracked := make([]uint64, 64)
+	for i := range tracked {
+		tracked[i] = uint64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := stochastic.Run(c, ddback.Factory(), noise.PaperDefaults(), stochastic.Options{
+			Runs: 50, Seed: 1, Workers: 1, TrackStates: tracked,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section IV-C: concurrency across simulation runs --------------
+
+func BenchmarkConcurrencyWorkers(b *testing.B) {
+	c := qbench.QFT(14).Circuit
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := stochastic.Run(c, ddback.Factory(), noise.PaperDefaults(), stochastic.Options{
+					Runs: 16, Seed: 1, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation (ref [37]): matrix–vector vs matrix–matrix -----------
+
+// The DD literature compares applying gates one by one to the state
+// (matrix–vector) against first multiplying the gate diagrams into a
+// single circuit operator (matrix–matrix). For QFT the combined
+// operator diagram is much denser than any intermediate state.
+func BenchmarkAblationMatVec(b *testing.B) {
+	c := circuit.QFT(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		back, err := ddback.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range c.Ops {
+			back.ApplyOp(j)
+		}
+	}
+}
+
+func BenchmarkAblationMatMat(b *testing.B) {
+	c := circuit.QFT(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := dd.NewPackage(c.NumQubits)
+		op := p.Identity()
+		for j := range c.Ops {
+			g := gateDD(p, &c.Ops[j])
+			op = p.MulMM(g, op)
+		}
+		final := p.MulMV(op, p.ZeroState())
+		if p.Norm2(final) < 0.99 {
+			b.Fatal("matrix-matrix simulation lost norm")
+		}
+	}
+}
+
+func gateDD(p *dd.Package, op *circuit.Op) dd.MEdge {
+	u, err := circuit.GateMatrix(op.Name, op.Params)
+	if err != nil {
+		panic(err)
+	}
+	ctl := make([]dd.Control, len(op.Controls))
+	for i, c := range op.Controls {
+		ctl[i] = dd.Control{Qubit: c.Qubit, Negative: c.Negative}
+	}
+	return p.ControlledGate(dd.Mat2(u), op.Target, ctl)
+}
+
+// --- Ablation: stochastic sampling vs deterministic mixed states ----
+
+// The paper's core positioning: stochastic Monte Carlo avoids the
+// squared (density matrix) representation at the cost of M runs.
+// These two benches make the trade-off measurable on a structured
+// circuit where both complete: the deterministic pass is exact but
+// pays the ρ representation, the stochastic pass pays per-sample.
+func BenchmarkAblationDeterministicDensityDD(b *testing.B) {
+	c := circuit.GHZ(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := ddensity.RunCircuit(c, noise.PaperDefaults())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p := s.Probability(0); p < 0.4 {
+			b.Fatalf("P(|0…0⟩) = %v", p)
+		}
+	}
+}
+
+func BenchmarkAblationStochasticSamplingDD(b *testing.B) {
+	c := circuit.GHZ(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := stochastic.Run(c, ddback.Factory(), noise.PaperDefaults(), stochastic.Options{
+			Runs: 100, Seed: 1, Workers: 1, TrackStates: []uint64{0},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TrackedProbs[0] < 0.3 {
+			b.Fatalf("ô(|0…0⟩) = %v", res.TrackedProbs[0])
+		}
+	}
+}
+
+// --- Engine micro-benchmarks ---------------------------------------
+
+func BenchmarkDDGateApplyGHZ64(b *testing.B) {
+	// Per-gate cost on a large structured state: apply CX along the
+	// GHZ chain; the diagram stays linear so this measures the
+	// engine's constant factor.
+	c := circuit.GHZ(64)
+	back, err := ddback.New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back.Reset()
+		for j := range c.Ops {
+			back.ApplyOp(j)
+		}
+	}
+}
+
+func BenchmarkDDSampleGHZ64(b *testing.B) {
+	c := circuit.GHZ(64)
+	res, err := stochastic.Run(c, ddback.Factory(), noise.Model{}, stochastic.Options{
+		Runs: 1, Seed: 1, Shots: 1,
+	})
+	if err != nil || res.Runs != 1 {
+		b.Fatal(err)
+	}
+	// Sampling cost measured through the public pipeline.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := stochastic.Run(c, ddback.Factory(), noise.Model{}, stochastic.Options{
+			Runs: 1, Seed: int64(i), Shots: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightTableLookup(b *testing.B) {
+	p := dd.NewPackage(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.W.Lookup(0.12345+float64(i%100)*1e-3, 0.5)
+	}
+}

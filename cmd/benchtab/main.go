@@ -1,0 +1,121 @@
+// Command benchtab regenerates the paper's evaluation tables (Ia:
+// Entanglement, Ib: QFT, Ic: QASMBench selection) with all three
+// simulation backends. Absolute runtimes are scaled — configurable M
+// and per-cell budget instead of 30000 runs and a 1-hour timeout — but
+// the comparison structure (who completes, who times out first, the
+// relative ordering) reproduces the paper's tables.
+//
+// Examples:
+//
+//	benchtab -table 1a
+//	benchtab -table all -runs 50 -budget 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ddsim"
+	"ddsim/internal/noise"
+	"ddsim/internal/qbench"
+	"ddsim/internal/sim"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "which table to regenerate: 1a, 1b, 1c, all")
+		runs    = flag.Int("runs", 30, "stochastic runs per cell (paper: 30000)")
+		budget  = flag.Duration("budget", 0, "per-cell time budget (paper: 1h); 0 picks a default")
+		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		sizesA  = flag.String("sizes-1a", "8,12,16,20,22,24,28,32,48,64", "entanglement qubit counts")
+		sizesB  = flag.String("sizes-1b", "8,10,12,14,16,18,20,24,28,32", "QFT qubit counts")
+	)
+	flag.Parse()
+
+	if *budget == 0 {
+		*budget = qbench.DefaultBudget
+	}
+	runner := &qbench.Runner{
+		Backends: []qbench.NamedFactory{
+			{Name: "proposed(dd)", Factory: mustFactory(ddsim.BackendDD)},
+			{Name: "statevec", Factory: mustFactory(ddsim.BackendStatevector)},
+			{Name: "sparse-la", Factory: mustFactory(ddsim.BackendSparse)},
+		},
+		Model:   noise.PaperDefaults(),
+		Runs:    *runs,
+		Budget:  *budget,
+		Workers: *workers,
+		Seed:    *seed,
+	}
+	if !*quiet {
+		runner.Verbose = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "· "+format+"\n", args...)
+		}
+	}
+
+	fmt.Printf("stochastic noisy simulation: M=%d runs/cell, budget=%s/cell, noise %s\n\n",
+		*runs, *budget, noise.PaperDefaults())
+
+	switch *table {
+	case "1a":
+		printTableIa(runner, parseSizes(*sizesA))
+	case "1b":
+		printTableIb(runner, parseSizes(*sizesB))
+	case "1c":
+		printTableIc(runner)
+	case "ext":
+		printTableExt(runner)
+	case "all":
+		printTableIa(runner, parseSizes(*sizesA))
+		printTableIb(runner, parseSizes(*sizesB))
+		printTableIc(runner)
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown table %q (want 1a, 1b, 1c, ext, all)\n", *table)
+		os.Exit(1)
+	}
+}
+
+func mustFactory(name string) sim.Factory {
+	f, err := ddsim.Factory(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: bad size %q\n", part)
+			os.Exit(1)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func printTableIa(r *qbench.Runner, sizes []int) {
+	t := r.RunScalable("Table Ia — Entanglement (GHZ) circuits", sizes, qbench.GHZ)
+	fmt.Println(t.Format())
+}
+
+func printTableIb(r *qbench.Runner, sizes []int) {
+	t := r.RunScalable("Table Ib — QFT circuits", sizes, qbench.QFT)
+	fmt.Println(t.Format())
+}
+
+func printTableIc(r *qbench.Runner) {
+	t := r.RunFixed("Table Ic — QASMBench-style circuits", qbench.TableIc())
+	fmt.Println(t.Format())
+}
+
+func printTableExt(r *qbench.Runner) {
+	t := r.RunFixed("Extended QASMBench-style families (beyond the paper's selection)", qbench.Extended())
+	fmt.Println(t.Format())
+}

@@ -1,0 +1,63 @@
+// The deterministic_vs_stochastic example puts the paper's central
+// trade-off side by side: the same noisy GHZ circuit is simulated
+// (a) deterministically, tracking the full density matrix as a
+// decision diagram (the ICCAD 2020 approach of reference [20]), and
+// (b) stochastically, averaging Monte-Carlo trajectories (the DATE
+// 2021 approach this repository reproduces). Both must agree on the
+// outcome probabilities; they differ in representation size and in
+// how the cost scales.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ddsim"
+	"ddsim/internal/circuit"
+	"ddsim/internal/ddensity"
+	"ddsim/internal/noise"
+)
+
+func main() {
+	model := noise.PaperDefaults()
+	fmt.Printf("noise: %s (T1 as event)\n\n", model)
+	fmt.Printf("%-4s %-22s %-22s %-10s\n", "n", "deterministic ρ-DD", "stochastic (M=400)", "|Δ P(0…0)|")
+
+	for _, n := range []int{4, 8, 12, 16} {
+		c := circuit.GHZ(n)
+
+		start := time.Now()
+		det, err := ddensity.RunCircuit(c, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detTime := time.Since(start)
+		detP := det.Probability(0)
+
+		start = time.Now()
+		res, err := ddsim.Simulate(c, ddsim.BackendDD, model, ddsim.Options{
+			Runs: 400, Seed: 1, TrackStates: []uint64{0},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stoTime := time.Since(start)
+		stoP := res.TrackedProbs[0]
+
+		fmt.Printf("%-4d %8s (%6d nodes) %8s (%2d-node ψ)  %.4f\n",
+			n, detTime.Round(time.Millisecond), det.NodeCount(),
+			stoTime.Round(time.Millisecond), 2*n-1, abs(detP-stoP))
+	}
+
+	fmt.Println("\nThe deterministic pass is exact but tracks a 2^n×2^n object;")
+	fmt.Println("the stochastic pass needs M samples but each trajectory is a")
+	fmt.Println("plain 2^n state in a compact diagram — the paper's argument.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,57 @@
+// The theorem1 example validates the paper's Theorem 1 empirically:
+// it estimates all 2^n outcome probabilities of a noisy QFT circuit
+// by Monte Carlo, compares them against the exact density-matrix
+// evolution, and checks that the worst-case deviation stays within
+// the advertised radius ε = sqrt(log(2L/δ) / 2M).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ddsim"
+	"ddsim/internal/circuit"
+)
+
+func main() {
+	const (
+		n     = 4
+		delta = 0.05
+	)
+	c := circuit.QFTWithInput(n, 0b1010)
+	model := ddsim.NoiseModel{Depolarizing: 0.01, Damping: 0.02, PhaseFlip: 0.01}
+
+	exact, err := ddsim.ExactProbabilities(c, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracked := make([]uint64, 1<<n)
+	for i := range tracked {
+		tracked[i] = uint64(i)
+	}
+
+	fmt.Printf("noisy %s: estimating L=%d outcome probabilities (δ=%.2f)\n\n", c.Name, len(tracked), delta)
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "runs M", "radius ε", "max |ô−o|", "within ε?")
+
+	for _, runs := range []int{100, 400, 1600, 6400, 25600} {
+		res, err := ddsim.Simulate(c, ddsim.BackendDD, model, ddsim.Options{
+			Runs: runs, Seed: 99, TrackStates: tracked,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for i := range tracked {
+			if d := math.Abs(res.TrackedProbs[i] - exact[i]); d > worst {
+				worst = d
+			}
+		}
+		eps := ddsim.EstimateAccuracy(runs, len(tracked), delta)
+		fmt.Printf("%-8d %-12.4f %-12.4f %-10v\n", runs, eps, worst, worst <= eps)
+	}
+
+	fmt.Println("\nThe deviation shrinks as 1/√M while ε depends only")
+	fmt.Println("logarithmically on the number of tracked properties —")
+	fmt.Println("the \"logarithmic suppression\" of Section III.")
+}

@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// GHZ builds the paper's "Entanglement" benchmark (Table Ia): a
+// Hadamard on q0 followed by a CNOT chain, preparing the n-qubit GHZ
+// state (|0…0⟩ + |1…1⟩)/√2.
+func GHZ(n int) *Circuit {
+	c := New(fmt.Sprintf("entanglement_%d", n), n)
+	c.H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	return c
+}
+
+// QFT builds the n-qubit Quantum Fourier Transform (Table Ib):
+// for each qubit a Hadamard followed by controlled phase rotations of
+// angle π/2^k against all less significant qubits. The final qubit
+// reversal swaps are omitted, as is common in benchmark circuits (they
+// relabel rather than transform the state).
+func QFT(n int) *Circuit {
+	c := New(fmt.Sprintf("qft_%d", n), n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+		for j := i + 1; j < n; j++ {
+			c.CPhase(j, i, math.Pi/math.Pow(2, float64(j-i)))
+		}
+	}
+	return c
+}
+
+// QFTWithInput builds a QFT applied to a non-trivial input basis
+// state: X gates prepare |bits⟩ before the transform, giving the
+// simulation a state with structure (an equal superposition with
+// linear phases).
+func QFTWithInput(n int, bits uint64) *Circuit {
+	c := New(fmt.Sprintf("qft_%d_in%d", n, bits), n)
+	for q := 0; q < n; q++ {
+		if bits>>(uint(n-1-q))&1 == 1 {
+			c.X(q)
+		}
+	}
+	qft := QFT(n)
+	c.Ops = append(c.Ops, qft.Ops...)
+	return c
+}
+
+// InverseQFT builds the adjoint of QFT(n).
+func InverseQFT(n int) *Circuit {
+	c := New(fmt.Sprintf("iqft_%d", n), n)
+	for i := n - 1; i >= 0; i-- {
+		for j := n - 1; j > i; j-- {
+			c.CPhase(j, i, -math.Pi/math.Pow(2, float64(j-i)))
+		}
+		c.H(i)
+	}
+	return c
+}

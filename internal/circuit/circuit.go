@@ -1,0 +1,245 @@
+// Package circuit defines the backend-independent intermediate
+// representation of quantum circuits: a flat list of operations
+// (unitary gates with optional controls, measurements, resets,
+// barriers and classically conditioned gates) on a register of qubits
+// and classical bits.
+//
+// All simulation backends (decision diagram, state vector, sparse
+// matrix, density matrix) consume this IR, and the OpenQASM front-end
+// produces it.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind discriminates the operation variants.
+type OpKind int
+
+// The operation kinds.
+const (
+	KindGate    OpKind = iota // unitary (possibly controlled) gate
+	KindMeasure               // projective measurement into a classical bit
+	KindReset                 // reset a qubit to |0⟩
+	KindBarrier               // scheduling barrier, no semantic effect
+)
+
+// Control is a control qubit; Negative controls trigger on |0⟩.
+type Control struct {
+	Qubit    int
+	Negative bool
+}
+
+// Condition makes a gate conditional on a classical register value
+// (OpenQASM `if (c==v) ...`): the gate applies iff the classical bits
+// listed in Bits (LSB first) currently encode Value.
+type Condition struct {
+	Bits  []int
+	Value uint64
+}
+
+// Op is one circuit operation.
+type Op struct {
+	Kind     OpKind
+	Name     string    // gate name, e.g. "h", "cx", "rz"
+	Target   int       // target qubit (gate, measure, reset)
+	Controls []Control // control qubits (gates only)
+	Params   []float64 // rotation angles etc.
+	Cbit     int       // classical bit (measure only)
+	Cond     *Condition
+}
+
+// Qubits returns every qubit the operation touches (target first).
+// Stochastic noise is applied to exactly these qubits after the gate.
+func (o *Op) Qubits() []int {
+	qs := make([]int, 0, 1+len(o.Controls))
+	qs = append(qs, o.Target)
+	for _, c := range o.Controls {
+		qs = append(qs, c.Qubit)
+	}
+	return qs
+}
+
+// Circuit is an ordered operation list on NumQubits qubits and
+// NumClbits classical bits. Qubit 0 is the most significant qubit, as
+// in the paper (and as OpenQASM register order maps onto the paper's
+// convention: q[0] is the top of the diagram).
+type Circuit struct {
+	Name      string
+	NumQubits int
+	NumClbits int
+	Ops       []Op
+}
+
+// New creates an empty circuit on n qubits and n classical bits.
+func New(name string, n int) *Circuit {
+	return &Circuit{Name: name, NumQubits: n, NumClbits: n}
+}
+
+// GateCount returns the number of unitary operations.
+func (c *Circuit) GateCount() int {
+	count := 0
+	for i := range c.Ops {
+		if c.Ops[i].Kind == KindGate {
+			count++
+		}
+	}
+	return count
+}
+
+// Validate checks all qubit and classical indices. Backends call it
+// once before simulating so per-op bounds checks can be skipped.
+func (c *Circuit) Validate() error {
+	if c.NumQubits < 1 {
+		return fmt.Errorf("circuit %q: no qubits", c.Name)
+	}
+	for i := range c.Ops {
+		o := &c.Ops[i]
+		if o.Kind == KindBarrier {
+			continue
+		}
+		if o.Target < 0 || o.Target >= c.NumQubits {
+			return fmt.Errorf("circuit %q op %d (%s): target %d out of range", c.Name, i, o.Name, o.Target)
+		}
+		seen := map[int]bool{o.Target: true}
+		for _, ctl := range o.Controls {
+			if ctl.Qubit < 0 || ctl.Qubit >= c.NumQubits {
+				return fmt.Errorf("circuit %q op %d (%s): control %d out of range", c.Name, i, o.Name, ctl.Qubit)
+			}
+			if seen[ctl.Qubit] {
+				return fmt.Errorf("circuit %q op %d (%s): duplicate qubit %d", c.Name, i, o.Name, ctl.Qubit)
+			}
+			seen[ctl.Qubit] = true
+		}
+		if o.Kind == KindMeasure && (o.Cbit < 0 || o.Cbit >= c.NumClbits) {
+			return fmt.Errorf("circuit %q op %d: classical bit %d out of range", c.Name, i, o.Cbit)
+		}
+		if o.Cond != nil {
+			for _, b := range o.Cond.Bits {
+				if b < 0 || b >= c.NumClbits {
+					return fmt.Errorf("circuit %q op %d: condition bit %d out of range", c.Name, i, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Append adds an operation.
+func (c *Circuit) Append(op Op) *Circuit {
+	c.Ops = append(c.Ops, op)
+	return c
+}
+
+// Gate appends a named single-target gate with optional params.
+func (c *Circuit) Gate(name string, target int, params ...float64) *Circuit {
+	return c.Append(Op{Kind: KindGate, Name: name, Target: target, Params: params})
+}
+
+// CGate appends a controlled gate.
+func (c *Circuit) CGate(name string, control, target int, params ...float64) *Circuit {
+	return c.Append(Op{Kind: KindGate, Name: name, Target: target,
+		Controls: []Control{{Qubit: control}}, Params: params})
+}
+
+// H through Tdg: convenience builders for the common gate alphabet.
+
+// H appends a Hadamard gate.
+func (c *Circuit) H(q int) *Circuit { return c.Gate("h", q) }
+
+// X appends a Pauli-X gate.
+func (c *Circuit) X(q int) *Circuit { return c.Gate("x", q) }
+
+// Y appends a Pauli-Y gate.
+func (c *Circuit) Y(q int) *Circuit { return c.Gate("y", q) }
+
+// Z appends a Pauli-Z gate.
+func (c *Circuit) Z(q int) *Circuit { return c.Gate("z", q) }
+
+// S appends an S gate (phase √Z).
+func (c *Circuit) S(q int) *Circuit { return c.Gate("s", q) }
+
+// Sdg appends the inverse S gate.
+func (c *Circuit) Sdg(q int) *Circuit { return c.Gate("sdg", q) }
+
+// T appends a T gate (π/8).
+func (c *Circuit) T(q int) *Circuit { return c.Gate("t", q) }
+
+// Tdg appends the inverse T gate.
+func (c *Circuit) Tdg(q int) *Circuit { return c.Gate("tdg", q) }
+
+// RX appends a rotation about X by theta.
+func (c *Circuit) RX(q int, theta float64) *Circuit { return c.Gate("rx", q, theta) }
+
+// RY appends a rotation about Y by theta.
+func (c *Circuit) RY(q int, theta float64) *Circuit { return c.Gate("ry", q, theta) }
+
+// RZ appends a rotation about Z by theta.
+func (c *Circuit) RZ(q int, theta float64) *Circuit { return c.Gate("rz", q, theta) }
+
+// Phase appends a phase gate diag(1, e^{iλ}).
+func (c *Circuit) Phase(q int, lambda float64) *Circuit { return c.Gate("p", q, lambda) }
+
+// CX appends a controlled-X (CNOT).
+func (c *Circuit) CX(control, target int) *Circuit { return c.CGate("x", control, target) }
+
+// CZ appends a controlled-Z.
+func (c *Circuit) CZ(control, target int) *Circuit { return c.CGate("z", control, target) }
+
+// CPhase appends a controlled phase gate.
+func (c *Circuit) CPhase(control, target int, lambda float64) *Circuit {
+	return c.CGate("p", control, target, lambda)
+}
+
+// CCX appends a Toffoli gate.
+func (c *Circuit) CCX(c1, c2, target int) *Circuit {
+	return c.Append(Op{Kind: KindGate, Name: "x", Target: target,
+		Controls: []Control{{Qubit: c1}, {Qubit: c2}}})
+}
+
+// MCX appends a multi-controlled X.
+func (c *Circuit) MCX(controls []int, target int) *Circuit {
+	ctl := make([]Control, len(controls))
+	for i, q := range controls {
+		ctl[i] = Control{Qubit: q}
+	}
+	return c.Append(Op{Kind: KindGate, Name: "x", Target: target, Controls: ctl})
+}
+
+// Swap appends a SWAP, decomposed into three CNOTs so that every
+// backend only needs (controlled) single-target gates.
+func (c *Circuit) Swap(a, b int) *Circuit {
+	return c.CX(a, b).CX(b, a).CX(a, b)
+}
+
+// Measure appends a measurement of qubit q into classical bit b.
+func (c *Circuit) Measure(q, b int) *Circuit {
+	return c.Append(Op{Kind: KindMeasure, Target: q, Cbit: b})
+}
+
+// MeasureAll measures qubit i into classical bit i for all qubits.
+func (c *Circuit) MeasureAll() *Circuit {
+	for q := 0; q < c.NumQubits; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// Reset appends a reset of qubit q to |0⟩.
+func (c *Circuit) Reset(q int) *Circuit {
+	return c.Append(Op{Kind: KindReset, Target: q})
+}
+
+// Barrier appends a barrier (no semantic effect; kept for fidelity to
+// the source QASM and as a noise-scheduling marker).
+func (c *Circuit) Barrier() *Circuit {
+	return c.Append(Op{Kind: KindBarrier})
+}
+
+// String renders a compact single-line summary.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[q=%d,ops=%d]", c.Name, c.NumQubits, len(c.Ops))
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Mat2 is a 2×2 complex matrix (row-major), the payload of every
+// single-target gate.
+type Mat2 [2][2]complex128
+
+// Standard constant gate matrices.
+var (
+	MatI   = Mat2{{1, 0}, {0, 1}}
+	MatX   = Mat2{{0, 1}, {1, 0}}
+	MatY   = Mat2{{0, complex(0, -1)}, {complex(0, 1), 0}}
+	MatZ   = Mat2{{1, 0}, {0, -1}}
+	MatH   = Mat2{{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)}, {complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}}
+	MatS   = Mat2{{1, 0}, {0, complex(0, 1)}}
+	MatSdg = Mat2{{1, 0}, {0, complex(0, -1)}}
+	MatT   = Mat2{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}}
+	MatTdg = Mat2{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}}
+	MatSX  = Mat2{{complex(0.5, 0.5), complex(0.5, -0.5)}, {complex(0.5, -0.5), complex(0.5, 0.5)}}
+)
+
+// RXMat returns the rotation-X matrix for angle theta.
+func RXMat(theta float64) Mat2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return Mat2{{c, s}, {s, c}}
+}
+
+// RYMat returns the rotation-Y matrix for angle theta.
+func RYMat(theta float64) Mat2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return Mat2{{c, -s}, {s, c}}
+}
+
+// RZMat returns the rotation-Z matrix for angle theta.
+func RZMat(theta float64) Mat2 {
+	return Mat2{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	}
+}
+
+// PhaseMat returns diag(1, e^{iλ}) (OpenQASM u1 / p gate).
+func PhaseMat(lambda float64) Mat2 {
+	return Mat2{{1, 0}, {0, cmplx.Exp(complex(0, lambda))}}
+}
+
+// U3Mat returns the general single-qubit unitary
+// u3(θ,φ,λ) as defined by OpenQASM 2.0.
+func U3Mat(theta, phi, lambda float64) Mat2 {
+	ct := math.Cos(theta / 2)
+	st := math.Sin(theta / 2)
+	return Mat2{
+		{complex(ct, 0), -cmplx.Exp(complex(0, lambda)) * complex(st, 0)},
+		{cmplx.Exp(complex(0, phi)) * complex(st, 0), cmplx.Exp(complex(0, phi+lambda)) * complex(ct, 0)},
+	}
+}
+
+// GateMatrix resolves a gate name and parameter list to its 2×2
+// matrix. The alphabet covers the OpenQASM 2.0 builtin U plus the
+// qelib1.inc single-qubit standard library.
+func GateMatrix(name string, params []float64) (Mat2, error) {
+	need := func(k int) error {
+		if len(params) != k {
+			return fmt.Errorf("gate %s: got %d parameters, want %d", name, len(params), k)
+		}
+		return nil
+	}
+	switch name {
+	case "id", "i":
+		return MatI, need(0)
+	case "x":
+		return MatX, need(0)
+	case "y":
+		return MatY, need(0)
+	case "z":
+		return MatZ, need(0)
+	case "h":
+		return MatH, need(0)
+	case "s":
+		return MatS, need(0)
+	case "sdg":
+		return MatSdg, need(0)
+	case "t":
+		return MatT, need(0)
+	case "tdg":
+		return MatTdg, need(0)
+	case "sx":
+		return MatSX, need(0)
+	case "rx":
+		if err := need(1); err != nil {
+			return Mat2{}, err
+		}
+		return RXMat(params[0]), nil
+	case "ry":
+		if err := need(1); err != nil {
+			return Mat2{}, err
+		}
+		return RYMat(params[0]), nil
+	case "rz":
+		if err := need(1); err != nil {
+			return Mat2{}, err
+		}
+		return RZMat(params[0]), nil
+	case "p", "u1":
+		if err := need(1); err != nil {
+			return Mat2{}, err
+		}
+		return PhaseMat(params[0]), nil
+	case "u2":
+		if err := need(2); err != nil {
+			return Mat2{}, err
+		}
+		return U3Mat(math.Pi/2, params[0], params[1]), nil
+	case "u3", "u", "U":
+		if err := need(3); err != nil {
+			return Mat2{}, err
+		}
+		return U3Mat(params[0], params[1], params[2]), nil
+	default:
+		return Mat2{}, fmt.Errorf("unknown gate %q", name)
+	}
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Mat2) Dagger() Mat2 {
+	return Mat2{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+// Mul returns the matrix product m·o.
+func (m Mat2) Mul(o Mat2) Mat2 {
+	var r Mat2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = m[i][0]*o[0][j] + m[i][1]*o[1][j]
+		}
+	}
+	return r
+}
+
+// IsUnitary reports whether m·m† is the identity within tol.
+func (m Mat2) IsUnitary(tol float64) bool {
+	p := m.Mul(m.Dagger())
+	return cmplx.Abs(p[0][0]-1) < tol && cmplx.Abs(p[1][1]-1) < tol &&
+		cmplx.Abs(p[0][1]) < tol && cmplx.Abs(p[1][0]) < tol
+}

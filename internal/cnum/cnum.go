@@ -1,0 +1,367 @@
+// Package cnum provides a tolerance-based interning table for complex
+// numbers, following the approach of Zulehner, Hillmich and Wille,
+// "How to efficiently handle complex values? Implementing decision
+// diagrams for quantum computing" (ICCAD 2019) — reference [39] of the
+// reproduced paper.
+//
+// Decision diagram canonicity requires that two edge weights that are
+// "numerically the same" are represented by the *same* object, so that
+// node equality reduces to pointer comparisons in the unique table.
+// A Table interns float pairs with a fixed tolerance: looking up a
+// value that is within Tolerance (per component) of a previously
+// stored value returns the stored representative.
+//
+// Like the C++ package the paper builds on, the table is a custom
+// chained hash table over tolerance-grid cells (not a Go map): weight
+// interning sits on the innermost simulation loop, and the home-cell
+// fast path plus cheap integer hashing are what keep it off the
+// profile.
+package cnum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerance is the per-component distance below which two complex
+// values are identified. It matches the default of the JKU DD package.
+const Tolerance = 1e-10
+
+// Value is an interned complex number. Within one Table, pointer
+// equality of *Value implies numerical equality (up to Tolerance), so
+// decision diagram code compares weights by pointer only.
+type Value struct {
+	re, im float64
+	id     uint32 // table-unique, used for cheap hashing downstream
+	marked bool   // mark-and-sweep flag (see BeginMark/Mark/Sweep)
+	next   *Value // hash-bucket chain
+}
+
+// Re returns the real part of the value.
+func (v *Value) Re() float64 { return v.re }
+
+// Im returns the imaginary part of the value.
+func (v *Value) Im() float64 { return v.im }
+
+// ID returns the table-unique identifier of the value (non-zero).
+// Decision-diagram hash tables mix these instead of hashing floats.
+func (v *Value) ID() uint32 { return v.id }
+
+// Complex returns the value as a complex128.
+func (v *Value) Complex() complex128 { return complex(v.re, v.im) }
+
+// Mag2 returns the squared magnitude |v|².
+func (v *Value) Mag2() float64 { return v.re*v.re + v.im*v.im }
+
+// String formats the value for diagnostics and DOT export.
+func (v *Value) String() string {
+	switch {
+	case v.im == 0:
+		return trimFloat(v.re)
+	case v.re == 0:
+		return trimFloat(v.im) + "i"
+	case v.im < 0:
+		return trimFloat(v.re) + trimFloat(v.im) + "i"
+	default:
+		return trimFloat(v.re) + "+" + trimFloat(v.im) + "i"
+	}
+}
+
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%.6g", f)
+}
+
+// Table interns complex values. The zero Table is not ready for use;
+// create one with NewTable. Tables are not safe for concurrent use;
+// the simulator gives every worker its own table (and DD package).
+type Table struct {
+	buckets []*Value
+	count   int
+	nextID  uint32
+
+	// Zero and One are the canonical representatives of 0 and 1.
+	// They are pre-interned so hot paths can compare against them.
+	Zero *Value
+	One  *Value
+
+	lookups int
+	hits    int
+}
+
+// NewTable returns an empty table with 0 and 1 pre-interned.
+func NewTable() *Table {
+	t := &Table{buckets: make([]*Value, 1<<12), nextID: 1}
+	t.Zero = t.Lookup(0, 0)
+	t.One = t.Lookup(1, 0)
+	return t
+}
+
+// Count returns the number of distinct interned values.
+func (t *Table) Count() int { return t.count }
+
+// HitRate returns the fraction of lookups answered from the table.
+// It is exposed for tests and diagnostics.
+func (t *Table) HitRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.lookups)
+}
+
+// cellWidth is the side of one hash-grid cell. It is a multiple of
+// Tolerance so that a match for x can only live in x's own cell or —
+// when x lies within Tolerance of a cell boundary — the directly
+// adjacent cell on that side. This keeps the common case at a single
+// probe instead of nine.
+const cellWidth = 4 * Tolerance
+
+func quantize(x float64) int64 {
+	return int64(math.Floor(x / cellWidth))
+}
+
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= Tolerance
+}
+
+// neighborDir reports which neighbour cells along one axis could hold
+// a match for x: −1, +1 or 0 (none) depending on x's offset inside
+// its cell.
+func neighborDir(x float64, q int64) int64 {
+	off := x - float64(q)*cellWidth
+	if off <= Tolerance {
+		return -1
+	}
+	if off >= cellWidth-Tolerance {
+		return 1
+	}
+	return 0
+}
+
+func cellHash(qr, qi int64) uint64 {
+	h := uint64(qr)*0x9E3779B97F4A7C15 ^ uint64(qi)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+func (t *Table) bucketIndex(qr, qi int64) uint64 {
+	return cellHash(qr, qi) & uint64(len(t.buckets)-1)
+}
+
+// findInCell scans one grid cell's chain for a match. Chains mix
+// values from all cells hashing to the bucket, so the cell is
+// re-derived from each candidate's coordinates.
+func (t *Table) findInCell(qr, qi int64, re, im float64) *Value {
+	for v := t.buckets[t.bucketIndex(qr, qi)]; v != nil; v = v.next {
+		if closeEnough(v.re, re) && closeEnough(v.im, im) {
+			return v
+		}
+	}
+	return nil
+}
+
+// Lookup interns the complex number re+im·i and returns its canonical
+// representative. Values within Tolerance of 0 (per component) are
+// snapped to exactly 0 so that zero edges are structurally exact;
+// likewise values within Tolerance of ±1 and ±1/√2 are snapped,
+// keeping gate matrices built from exact constants canonical.
+func (t *Table) Lookup(re, im float64) *Value {
+	if math.IsNaN(re) || math.IsNaN(im) || math.IsInf(re, 0) || math.IsInf(im, 0) {
+		panic(fmt.Sprintf("cnum: non-finite value %g%+gi interned", re, im))
+	}
+	re = snap(re)
+	im = snap(im)
+	t.lookups++
+
+	qr, qi := quantize(re), quantize(im)
+	// Fast path: the home cell (repeat lookups of the same value).
+	if v := t.findInCell(qr, qi, re, im); v != nil {
+		t.hits++
+		return v
+	}
+	// A match can sit across a grid boundary only when the value lies
+	// within Tolerance of that boundary.
+	nr := neighborDir(re, qr)
+	ni := neighborDir(im, qi)
+	if nr != 0 {
+		if v := t.findInCell(qr+nr, qi, re, im); v != nil {
+			t.hits++
+			return v
+		}
+	}
+	if ni != 0 {
+		if v := t.findInCell(qr, qi+ni, re, im); v != nil {
+			t.hits++
+			return v
+		}
+	}
+	if nr != 0 && ni != 0 {
+		if v := t.findInCell(qr+nr, qi+ni, re, im); v != nil {
+			t.hits++
+			return v
+		}
+	}
+
+	if t.count >= len(t.buckets)*2 {
+		t.grow()
+	}
+	v := &Value{re: re, im: im, id: t.nextID}
+	t.nextID++
+	idx := t.bucketIndex(qr, qi)
+	v.next = t.buckets[idx]
+	t.buckets[idx] = v
+	t.count++
+	return v
+}
+
+// grow doubles the bucket array and rehashes every value into the
+// bucket of its own grid cell.
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([]*Value, len(old)*2)
+	for _, chain := range old {
+		for v := chain; v != nil; {
+			next := v.next
+			idx := t.bucketIndex(quantize(v.re), quantize(v.im))
+			v.next = t.buckets[idx]
+			t.buckets[idx] = v
+			v = next
+		}
+	}
+}
+
+// BeginMark clears all mark bits in preparation for a sweep.
+func (t *Table) BeginMark() {
+	for _, chain := range t.buckets {
+		for v := chain; v != nil; v = v.next {
+			v.marked = false
+		}
+	}
+}
+
+// Mark pins one value against the next Sweep. Nil is ignored.
+func (t *Table) Mark(v *Value) {
+	if v != nil {
+		v.marked = true
+	}
+}
+
+// Sweep removes every unmarked value except the canonical Zero and
+// One, returning the number of values dropped. Callers (the DD
+// package's garbage collector) must have Marked every value that is
+// still referenced *structurally* — i.e. every edge weight stored in
+// a live node. Free-floating values (root weights held by user code)
+// may be swept: they remain perfectly usable as numbers, and interning
+// the same number later simply creates a fresh representative. Only
+// structural weights need stable identities for unique-table lookups,
+// and those are exactly the marked ones.
+func (t *Table) Sweep() int {
+	dropped := 0
+	for i, chain := range t.buckets {
+		var keep *Value
+		for v := chain; v != nil; {
+			next := v.next
+			if v.marked || v == t.Zero || v == t.One {
+				v.next = keep
+				keep = v
+			} else {
+				dropped++
+				t.count--
+			}
+			v = next
+		}
+		t.buckets[i] = keep
+	}
+	return dropped
+}
+
+// snap collapses values numerically indistinguishable from the exact
+// constants 0, ±1 and ±1/√2 to those constants. This keeps the weights
+// produced by H/CX/QFT circuits exactly canonical over long gate
+// sequences.
+func snap(x float64) float64 {
+	switch {
+	case math.Abs(x) <= Tolerance:
+		return 0
+	case math.Abs(x-1) <= Tolerance:
+		return 1
+	case math.Abs(x+1) <= Tolerance:
+		return -1
+	case math.Abs(x-math.Sqrt2/2) <= Tolerance:
+		return math.Sqrt2 / 2
+	case math.Abs(x+math.Sqrt2/2) <= Tolerance:
+		return -math.Sqrt2 / 2
+	default:
+		return x
+	}
+}
+
+// LookupC interns a complex128.
+func (t *Table) LookupC(c complex128) *Value {
+	return t.Lookup(real(c), imag(c))
+}
+
+// Mul returns the interned product a·b.
+func (t *Table) Mul(a, b *Value) *Value {
+	if a == t.Zero || b == t.Zero {
+		return t.Zero
+	}
+	if a == t.One {
+		return b
+	}
+	if b == t.One {
+		return a
+	}
+	return t.LookupC(a.Complex() * b.Complex())
+}
+
+// Div returns the interned quotient a/b. b must be non-zero.
+func (t *Table) Div(a, b *Value) *Value {
+	if b == t.Zero {
+		panic("cnum: division by zero weight")
+	}
+	if a == t.Zero {
+		return t.Zero
+	}
+	if b == t.One {
+		return a
+	}
+	if a == b {
+		return t.One
+	}
+	return t.LookupC(a.Complex() / b.Complex())
+}
+
+// Add returns the interned sum a+b.
+func (t *Table) Add(a, b *Value) *Value {
+	if a == t.Zero {
+		return b
+	}
+	if b == t.Zero {
+		return a
+	}
+	return t.LookupC(a.Complex() + b.Complex())
+}
+
+// Neg returns the interned negation −a.
+func (t *Table) Neg(a *Value) *Value {
+	if a == t.Zero {
+		return a
+	}
+	return t.Lookup(-a.re, -a.im)
+}
+
+// Conj returns the interned complex conjugate of a.
+func (t *Table) Conj(a *Value) *Value {
+	if a.im == 0 {
+		return a
+	}
+	return t.Lookup(a.re, -a.im)
+}
+
+// ApproxEqual reports whether two float pairs are within Tolerance of
+// each other per component. It is the comparison the table itself uses.
+func ApproxEqual(a, b complex128) bool {
+	return closeEnough(real(a), real(b)) && closeEnough(imag(a), imag(b))
+}

@@ -1,0 +1,481 @@
+// Package dd implements the decision-diagram engine at the heart of
+// the reproduced paper: quantum states are represented as vector
+// decision diagrams and quantum operations as matrix decision
+// diagrams, both with interned complex edge weights, hash-consed nodes
+// (a unique table), memoised recursive operations (compute tables) and
+// reference-counting garbage collection.
+//
+// The design follows the JKU decision diagram package (references
+// [22], [24], [37], [39] of the paper):
+//
+//   - qubit q0 is the most significant qubit and sits at the top of
+//     the diagram; a node's level is its distance from the terminal
+//     (terminal = level 0, top node = level n);
+//   - diagrams never skip levels: along every path there is a node at
+//     every level, except that an edge with weight 0 terminates
+//     immediately in a "zero stub";
+//   - nodes are normalised so that the outgoing weight of largest
+//     magnitude (leftmost on ties) is exactly 1, with the factor
+//     propagated to the incoming edge;
+//   - equal sub-diagrams are identified structurally in the unique
+//     table, so equality of diagrams is pointer equality of edges;
+//   - unique tables are custom chained hash tables over small integer
+//     node/weight IDs, and compute tables are fixed-size direct-mapped
+//     caches (lossy, overwrite on collision) — the same engineering
+//     that makes the C++ package fast, because generic hash maps on
+//     the innermost loop dominate the profile otherwise.
+//
+// A Package is deliberately NOT safe for concurrent use. The
+// stochastic simulator (internal/stochastic) exploits concurrency
+// *across* simulation runs — each worker owns a private Package — and
+// not within a single run, exactly as proposed in Section IV-C of the
+// paper.
+package dd
+
+import (
+	"fmt"
+
+	"ddsim/internal/cnum"
+)
+
+// MaxQubits is the largest register size supported by the package.
+// Basis states are addressed with uint64 bit masks, and the paper's
+// evaluation tops out at 64 qubits as well.
+const MaxQubits = 64
+
+// VNode is a vector decision diagram node with two successors
+// (the represented sub-vector split on this node's qubit).
+type VNode struct {
+	E     [2]VEdge
+	Level int
+	id    uint32
+	ref   int32
+	next  *VNode // unique-table bucket chain
+}
+
+// MNode is a matrix decision diagram node with four successors
+// (the represented sub-matrix split into quadrants: E[0] upper-left,
+// E[1] upper-right, E[2] lower-left, E[3] lower-right).
+type MNode struct {
+	E     [4]MEdge
+	Level int
+	id    uint32
+	ref   int32
+	next  *MNode
+}
+
+// VEdge is a weighted edge to a vector node. N == nil denotes the
+// terminal: either a leaf amplitude (level-0 edge) or, when W is the
+// canonical zero, a zero stub that cuts the diagram short.
+type VEdge struct {
+	N *VNode
+	W *cnum.Value
+}
+
+// MEdge is a weighted edge to a matrix node, with the same terminal
+// conventions as VEdge.
+type MEdge struct {
+	N *MNode
+	W *cnum.Value
+}
+
+// IsTerminal reports whether the edge points to the terminal node.
+func (e VEdge) IsTerminal() bool { return e.N == nil }
+
+// IsZero reports whether the edge is the zero stub.
+func (e VEdge) IsZero() bool { return e.N == nil && e.W.Mag2() == 0 }
+
+// IsTerminal reports whether the edge points to the terminal node.
+func (e MEdge) IsTerminal() bool { return e.N == nil }
+
+// IsZero reports whether the edge is the zero stub.
+func (e MEdge) IsZero() bool { return e.N == nil && e.W.Mag2() == 0 }
+
+// Level returns the level of the sub-diagram the edge points to
+// (0 for terminal edges).
+func (e VEdge) Level() int {
+	if e.N == nil {
+		return 0
+	}
+	return e.N.Level
+}
+
+// Level returns the level of the sub-diagram the edge points to.
+func (e MEdge) Level() int {
+	if e.N == nil {
+		return 0
+	}
+	return e.N.Level
+}
+
+func vid(n *VNode) uint32 {
+	if n == nil {
+		return 0
+	}
+	return n.id
+}
+
+func mid(n *MNode) uint32 {
+	if n == nil {
+		return 0
+	}
+	return n.id
+}
+
+// mixHash folds a sequence of small integers into a 64-bit hash
+// (splitmix64-style finalisation between words).
+func mixHash(words ...uint64) uint64 {
+	h := uint64(0x243F6A8885A308D3)
+	for _, w := range words {
+		h = (h ^ w) * 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// Direct-mapped compute-cache geometry. Lossy by design: a collision
+// overwrites the previous entry, bounding memory and avoiding any
+// per-operation allocation, exactly as in the reference C++ package.
+const (
+	mvCacheBits    = 16
+	addCacheBits   = 16
+	mmCacheBits    = 12
+	kronCacheBits  = 10
+	dotCacheBits   = 12
+	ctCacheBits    = 10
+	norm2CacheBits = 15
+	probCacheBits  = 13
+)
+
+type mvEntry struct {
+	m *MNode
+	v *VNode
+	r VEdge
+}
+
+type addEntry struct {
+	a, b *VNode
+	bw   *cnum.Value
+	r    VEdge
+}
+
+type maddEntry struct {
+	a, b *MNode
+	bw   *cnum.Value
+	r    MEdge
+}
+
+type mmEntry struct {
+	a, b *MNode
+	r    MEdge
+}
+
+type kronEntry struct {
+	a, b *MNode
+	bw   *cnum.Value
+	r    MEdge
+}
+
+type dotEntry struct {
+	a, b *VNode
+	r    complex128
+	ok   bool
+}
+
+type ctEntry struct {
+	m *MNode
+	r MEdge
+}
+
+type norm2Entry struct {
+	n *VNode
+	v float64
+}
+
+type probEntry struct {
+	n     *VNode
+	level int32
+	v     float64
+}
+
+// Package owns every table required for DD-based simulation of one
+// register size: the complex-value table, the unique tables, the
+// compute tables and the squared-norm caches. Create one per worker
+// goroutine; a Package must not be shared between goroutines.
+type Package struct {
+	// W interns all edge weights of diagrams managed by this package.
+	W *cnum.Table
+
+	nQubits int
+
+	vBuckets []*VNode
+	vCount   int
+	nextVID  uint32
+	mBuckets []*MNode
+	mCount   int
+	nextMID  uint32
+
+	mvCache    []mvEntry
+	addCache   []addEntry
+	maddCache  []maddEntry
+	mmCache    []mmEntry
+	kronCache  []kronEntry
+	dotCache   []dotEntry
+	ctCache    []ctEntry
+	norm2Cache []norm2Entry
+	probCache  []probEntry
+
+	// gcThreshold triggers automatic garbage collection when the
+	// combined unique-table population exceeds it; wGCThreshold does
+	// the same for the weight table. Doubled when a collection frees
+	// too little.
+	gcThreshold  int
+	wGCThreshold int
+	gcRuns       int
+
+	peakVNodes int
+}
+
+// NewPackage creates a package for registers of exactly n qubits
+// (1 ≤ n ≤ MaxQubits).
+func NewPackage(n int) *Package {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("dd: unsupported qubit count %d (want 1..%d)", n, MaxQubits))
+	}
+	p := &Package{
+		W:            cnum.NewTable(),
+		nQubits:      n,
+		vBuckets:     make([]*VNode, 1<<12),
+		mBuckets:     make([]*MNode, 1<<10),
+		nextVID:      1,
+		nextMID:      1,
+		gcThreshold:  250000,
+		wGCThreshold: 400000,
+	}
+	p.allocCaches()
+	return p
+}
+
+// NumQubits returns the register size the package was created for.
+func (p *Package) NumQubits() int { return p.nQubits }
+
+// qubitToLevel converts a qubit index (0 = most significant, as in the
+// paper's figures) to a diagram level.
+func (p *Package) qubitToLevel(q int) int {
+	if q < 0 || q >= p.nQubits {
+		panic(fmt.Sprintf("dd: qubit %d out of range [0,%d)", q, p.nQubits))
+	}
+	return p.nQubits - q
+}
+
+// levelToQubit converts a diagram level to a qubit index.
+func (p *Package) levelToQubit(level int) int { return p.nQubits - level }
+
+func (p *Package) allocCaches() {
+	p.mvCache = make([]mvEntry, 1<<mvCacheBits)
+	p.addCache = make([]addEntry, 1<<addCacheBits)
+	p.maddCache = make([]maddEntry, 1<<mmCacheBits)
+	p.mmCache = make([]mmEntry, 1<<mmCacheBits)
+	p.kronCache = make([]kronEntry, 1<<kronCacheBits)
+	p.dotCache = make([]dotEntry, 1<<dotCacheBits)
+	p.ctCache = make([]ctEntry, 1<<ctCacheBits)
+	p.norm2Cache = make([]norm2Entry, 1<<norm2CacheBits)
+	p.probCache = make([]probEntry, 1<<probCacheBits)
+}
+
+func (p *Package) clearCaches() {
+	clear(p.mvCache)
+	clear(p.addCache)
+	clear(p.maddCache)
+	clear(p.mmCache)
+	clear(p.kronCache)
+	clear(p.dotCache)
+	clear(p.ctCache)
+	clear(p.norm2Cache)
+	clear(p.probCache)
+}
+
+// ZeroEdge returns the canonical zero stub for vectors.
+func (p *Package) ZeroEdge() VEdge { return VEdge{N: nil, W: p.W.Zero} }
+
+// ZeroMEdge returns the canonical zero stub for matrices.
+func (p *Package) ZeroMEdge() MEdge { return MEdge{N: nil, W: p.W.Zero} }
+
+// TerminalEdge returns a terminal vector edge carrying weight w.
+func (p *Package) TerminalEdge(w *cnum.Value) VEdge { return VEdge{N: nil, W: w} }
+
+// VNodeCount returns the number of live vector nodes in the unique table.
+func (p *Package) VNodeCount() int { return p.vCount }
+
+// MNodeCount returns the number of live matrix nodes in the unique table.
+func (p *Package) MNodeCount() int { return p.mCount }
+
+// PeakVNodes returns the high-water mark of the vector unique table,
+// a proxy for the memory footprint of a simulation.
+func (p *Package) PeakVNodes() int { return p.peakVNodes }
+
+// GCRuns returns how many garbage collections the package performed.
+func (p *Package) GCRuns() int { return p.gcRuns }
+
+// NodesCreated returns the total number of vector nodes ever created,
+// a measure of construction work independent of garbage collection.
+func (p *Package) NodesCreated() int { return int(p.nextVID) - 1 }
+
+func (p *Package) vBucketIndex(level int, e0, e1 VEdge) uint64 {
+	h := mixHash(uint64(level),
+		uint64(vid(e0.N)), uint64(e0.W.ID()),
+		uint64(vid(e1.N)), uint64(e1.W.ID()))
+	return h & uint64(len(p.vBuckets)-1)
+}
+
+func (p *Package) mBucketIndex(level int, e [4]MEdge) uint64 {
+	h := mixHash(uint64(level),
+		uint64(mid(e[0].N)), uint64(e[0].W.ID()),
+		uint64(mid(e[1].N)), uint64(e[1].W.ID()),
+		uint64(mid(e[2].N)), uint64(e[2].W.ID()),
+		uint64(mid(e[3].N)), uint64(e[3].W.ID()))
+	return h & uint64(len(p.mBuckets)-1)
+}
+
+// makeVNode normalises and hash-conses a vector node at the given
+// level from two candidate child edges, returning the canonical edge.
+//
+// Normalisation divides both outgoing weights by the weight of largest
+// magnitude (leftmost on ties), which becomes the weight of the
+// returned edge. If both children are zero the zero stub is returned.
+func (p *Package) makeVNode(level int, e0, e1 VEdge) VEdge {
+	z0, z1 := e0.IsZero(), e1.IsZero()
+	if z0 && z1 {
+		return p.ZeroEdge()
+	}
+	// Normalise zero stubs to the canonical representation.
+	if z0 {
+		e0 = p.ZeroEdge()
+	}
+	if z1 {
+		e1 = p.ZeroEdge()
+	}
+
+	var top *cnum.Value
+	if e0.W.Mag2() >= e1.W.Mag2() {
+		top = e0.W
+	} else {
+		top = e1.W
+	}
+	w0 := p.W.Div(e0.W, top)
+	w1 := p.W.Div(e1.W, top)
+
+	idx := p.vBucketIndex(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
+	for n := p.vBuckets[idx]; n != nil; n = n.next {
+		if n.Level == level && n.E[0].N == e0.N && n.E[0].W == w0 &&
+			n.E[1].N == e1.N && n.E[1].W == w1 {
+			return VEdge{N: n, W: top}
+		}
+	}
+	if p.vCount >= len(p.vBuckets)*2 {
+		p.growV()
+		idx = p.vBucketIndex(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
+	}
+	n := &VNode{
+		E:     [2]VEdge{{N: e0.N, W: w0}, {N: e1.N, W: w1}},
+		Level: level,
+		id:    p.nextVID,
+	}
+	p.nextVID++
+	n.next = p.vBuckets[idx]
+	p.vBuckets[idx] = n
+	p.vCount++
+	if p.vCount > p.peakVNodes {
+		p.peakVNodes = p.vCount
+	}
+	return VEdge{N: n, W: top}
+}
+
+func (p *Package) growV() {
+	old := p.vBuckets
+	p.vBuckets = make([]*VNode, len(old)*2)
+	for _, chain := range old {
+		for n := chain; n != nil; {
+			next := n.next
+			idx := p.vBucketIndex(n.Level, n.E[0], n.E[1])
+			n.next = p.vBuckets[idx]
+			p.vBuckets[idx] = n
+			n = next
+		}
+	}
+}
+
+// makeMNode is the matrix analogue of makeVNode with four children.
+func (p *Package) makeMNode(level int, e [4]MEdge) MEdge {
+	allZero := true
+	for i := range e {
+		if e[i].IsZero() {
+			e[i] = p.ZeroMEdge()
+		} else {
+			allZero = false
+		}
+	}
+	if allZero {
+		return p.ZeroMEdge()
+	}
+
+	top := e[0].W
+	for i := 1; i < 4; i++ {
+		if e[i].W.Mag2() > top.Mag2() {
+			top = e[i].W
+		}
+	}
+	var norm [4]MEdge
+	for i := range e {
+		norm[i] = MEdge{N: e[i].N, W: p.W.Div(e[i].W, top)}
+	}
+
+	idx := p.mBucketIndex(level, norm)
+	for n := p.mBuckets[idx]; n != nil; n = n.next {
+		if n.Level == level && n.E == norm {
+			return MEdge{N: n, W: top}
+		}
+	}
+	if p.mCount >= len(p.mBuckets)*2 {
+		p.growM()
+		idx = p.mBucketIndex(level, norm)
+	}
+	n := &MNode{E: norm, Level: level, id: p.nextMID}
+	p.nextMID++
+	n.next = p.mBuckets[idx]
+	p.mBuckets[idx] = n
+	p.mCount++
+	return MEdge{N: n, W: top}
+}
+
+func (p *Package) growM() {
+	old := p.mBuckets
+	p.mBuckets = make([]*MNode, len(old)*2)
+	for _, chain := range old {
+		for n := chain; n != nil; {
+			next := n.next
+			idx := p.mBucketIndex(n.Level, n.E)
+			n.next = p.mBuckets[idx]
+			p.mBuckets[idx] = n
+			n = next
+		}
+	}
+}
+
+// scaleV returns e with its weight multiplied by w.
+func (p *Package) scaleV(e VEdge, w *cnum.Value) VEdge {
+	if e.IsZero() || w == p.W.Zero {
+		return p.ZeroEdge()
+	}
+	return VEdge{N: e.N, W: p.W.Mul(e.W, w)}
+}
+
+// scaleM returns e with its weight multiplied by w.
+func (p *Package) scaleM(e MEdge, w *cnum.Value) MEdge {
+	if e.IsZero() || w == p.W.Zero {
+		return p.ZeroMEdge()
+	}
+	return MEdge{N: e.N, W: p.W.Mul(e.W, w)}
+}

@@ -1,0 +1,177 @@
+package dd
+
+// Reference counting and garbage collection.
+//
+// Long stochastic simulations create millions of transient nodes; the
+// unique tables would grow without bound if dead nodes were never
+// removed. Following the JKU package, live diagrams are pinned with
+// explicit reference counts: Ref marks an externally held root (the
+// current state, pre-built gate diagrams), Unref releases it. A sweep
+// unlinks every node whose reference count is zero from the unique
+// table chains and clears the compute caches (whose entries may
+// mention swept nodes).
+//
+// Collections only run when the caller invokes GarbageCollect or
+// MaybeGC — never from inside diagram construction — so freshly built,
+// not-yet-referenced results are never swept out from under a caller.
+
+// Ref pins the diagram rooted at e against garbage collection.
+func (p *Package) Ref(e VEdge) {
+	if e.N != nil {
+		refV(e.N)
+	}
+}
+
+// Unref releases a pin taken with Ref.
+func (p *Package) Unref(e VEdge) {
+	if e.N != nil {
+		unrefV(e.N)
+	}
+}
+
+// RefM pins the operator diagram rooted at e.
+func (p *Package) RefM(e MEdge) {
+	if e.N != nil {
+		refM(e.N)
+	}
+}
+
+// UnrefM releases a pin taken with RefM.
+func (p *Package) UnrefM(e MEdge) {
+	if e.N != nil {
+		unrefM(e.N)
+	}
+}
+
+func refV(n *VNode) {
+	n.ref++
+	if n.ref == 1 {
+		for i := range n.E {
+			if c := n.E[i].N; c != nil {
+				refV(c)
+			}
+		}
+	}
+}
+
+func unrefV(n *VNode) {
+	if n.ref <= 0 {
+		panic("dd: Unref of unreferenced vector node")
+	}
+	n.ref--
+	if n.ref == 0 {
+		for i := range n.E {
+			if c := n.E[i].N; c != nil {
+				unrefV(c)
+			}
+		}
+	}
+}
+
+func refM(n *MNode) {
+	n.ref++
+	if n.ref == 1 {
+		for i := range n.E {
+			if c := n.E[i].N; c != nil {
+				refM(c)
+			}
+		}
+	}
+}
+
+func unrefM(n *MNode) {
+	if n.ref <= 0 {
+		panic("dd: UnrefM of unreferenced matrix node")
+	}
+	n.ref--
+	if n.ref == 0 {
+		for i := range n.E {
+			if c := n.E[i].N; c != nil {
+				unrefM(c)
+			}
+		}
+	}
+}
+
+// GarbageCollect sweeps all unreferenced nodes from the unique tables
+// and clears every compute table and cache. Diagrams not pinned with
+// Ref/RefM become invalid. It returns the number of nodes collected.
+func (p *Package) GarbageCollect() int {
+	collected := 0
+	for i, chain := range p.vBuckets {
+		var keep *VNode
+		for n := chain; n != nil; {
+			next := n.next
+			if n.ref == 0 {
+				collected++
+				p.vCount--
+			} else {
+				n.next = keep
+				keep = n
+			}
+			n = next
+		}
+		p.vBuckets[i] = keep
+	}
+	for i, chain := range p.mBuckets {
+		var keep *MNode
+		for n := chain; n != nil; {
+			next := n.next
+			if n.ref == 0 {
+				collected++
+				p.mCount--
+			} else {
+				n.next = keep
+				keep = n
+			}
+			n = next
+		}
+		p.mBuckets[i] = keep
+	}
+	// Sweep the weight table as well: long noisy simulations of
+	// circuits with incommensurate rotation angles otherwise grow it
+	// without bound. Every weight stored in a surviving node is
+	// structural and must keep its identity; everything else can go.
+	p.W.BeginMark()
+	for _, chain := range p.vBuckets {
+		for n := chain; n != nil; n = n.next {
+			p.W.Mark(n.E[0].W)
+			p.W.Mark(n.E[1].W)
+		}
+	}
+	for _, chain := range p.mBuckets {
+		for n := chain; n != nil; n = n.next {
+			for i := range n.E {
+				p.W.Mark(n.E[i].W)
+			}
+		}
+	}
+	p.W.Sweep()
+	p.clearCaches()
+	p.gcRuns++
+	return collected
+}
+
+// MaybeGC collects garbage if the unique tables or the weight table
+// have outgrown their current thresholds. If a collection frees less
+// than half of the triggering population, that threshold doubles so
+// workloads with genuinely large live sets are not throttled by
+// useless sweeps. Callers must have pinned every diagram they still
+// need.
+func (p *Package) MaybeGC() bool {
+	pop := p.vCount + p.mCount
+	nodesOver := pop >= p.gcThreshold
+	weightsOver := p.W.Count() >= p.wGCThreshold
+	if !nodesOver && !weightsOver {
+		return false
+	}
+	wBefore := p.W.Count()
+	collected := p.GarbageCollect()
+	if nodesOver && collected*2 < pop {
+		p.gcThreshold *= 2
+	}
+	if weightsOver && p.W.Count()*2 > wBefore {
+		p.wGCThreshold *= 2
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+package dd
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Add returns the element-wise sum a+b of two vector diagrams. Both
+// operands must represent vectors of the same size (same level).
+//
+// The recursion factors the weight of a out of the computation so the
+// compute-table key is (a.N, b.N, b.W/a.W): by bilinearity the cached
+// result can be rescaled for every incoming weight combination.
+func (p *Package) Add(a, b VEdge) VEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if a.IsTerminal() != b.IsTerminal() {
+		panic("dd: Add of vectors with different levels")
+	}
+	if a.IsTerminal() {
+		return p.TerminalEdge(p.W.Add(a.W, b.W))
+	}
+	if a.N == b.N {
+		w := p.W.Add(a.W, b.W)
+		if w == p.W.Zero {
+			return p.ZeroEdge()
+		}
+		return VEdge{N: a.N, W: w}
+	}
+	if a.N.Level != b.N.Level {
+		panic("dd: Add of vectors with different levels")
+	}
+
+	bw := p.W.Div(b.W, a.W)
+	idx := mixHash(uint64(a.N.id), uint64(b.N.id), uint64(bw.ID())) & (1<<addCacheBits - 1)
+	ent := &p.addCache[idx]
+	if ent.a == a.N && ent.b == b.N && ent.bw == bw {
+		return p.scaleV(ent.r, a.W)
+	}
+
+	e0 := p.Add(a.N.E[0], p.scaleV(b.N.E[0], bw))
+	e1 := p.Add(a.N.E[1], p.scaleV(b.N.E[1], bw))
+	r := p.makeVNode(a.N.Level, e0, e1)
+	*ent = addEntry{a: a.N, b: b.N, bw: bw, r: r}
+	return p.scaleV(r, a.W)
+}
+
+// AddM returns the element-wise sum of two matrix diagrams.
+func (p *Package) AddM(a, b MEdge) MEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if a.IsTerminal() != b.IsTerminal() {
+		panic("dd: AddM of matrices with different levels")
+	}
+	if a.IsTerminal() {
+		return MEdge{N: nil, W: p.W.Add(a.W, b.W)}
+	}
+	if a.N == b.N {
+		w := p.W.Add(a.W, b.W)
+		if w == p.W.Zero {
+			return p.ZeroMEdge()
+		}
+		return MEdge{N: a.N, W: w}
+	}
+	if a.N.Level != b.N.Level {
+		panic("dd: AddM of matrices with different levels")
+	}
+
+	bw := p.W.Div(b.W, a.W)
+	idx := mixHash(uint64(a.N.id), uint64(b.N.id), uint64(bw.ID())) & (1<<mmCacheBits - 1)
+	ent := &p.maddCache[idx]
+	if ent.a == a.N && ent.b == b.N && ent.bw == bw {
+		return p.scaleM(ent.r, a.W)
+	}
+
+	var kids [4]MEdge
+	for i := 0; i < 4; i++ {
+		kids[i] = p.AddM(a.N.E[i], p.scaleM(b.N.E[i], bw))
+	}
+	r := p.makeMNode(a.N.Level, kids)
+	*ent = maddEntry{a: a.N, b: b.N, bw: bw, r: r}
+	return p.scaleM(r, a.W)
+}
+
+// SubM returns a−b for matrix diagrams.
+func (p *Package) SubM(a, b MEdge) MEdge {
+	return p.AddM(a, p.scaleM(b, p.W.Lookup(-1, 0)))
+}
+
+// MulMV applies the operator m to the state v (matrix–vector product).
+// This is the workhorse of simulation: one call per gate or error
+// event. Results are memoised on the node pair; scalar weights are
+// factored out, so the cache is valid for any incoming weights.
+func (p *Package) MulMV(m MEdge, v VEdge) VEdge {
+	if m.IsZero() || v.IsZero() {
+		return p.ZeroEdge()
+	}
+	w := p.W.Mul(m.W, v.W)
+	if m.IsTerminal() && v.IsTerminal() {
+		return p.TerminalEdge(w)
+	}
+	if m.IsTerminal() || v.IsTerminal() {
+		panic("dd: MulMV level mismatch")
+	}
+	if m.N.Level != v.N.Level {
+		panic(fmt.Sprintf("dd: MulMV level mismatch (%d vs %d)", m.N.Level, v.N.Level))
+	}
+
+	idx := mixHash(uint64(m.N.id), uint64(v.N.id)) & (1<<mvCacheBits - 1)
+	ent := &p.mvCache[idx]
+	if ent.m == m.N && ent.v == v.N {
+		return p.scaleV(ent.r, w)
+	}
+
+	var kids [2]VEdge
+	for row := 0; row < 2; row++ {
+		p0 := p.MulMV(m.N.E[2*row+0], v.N.E[0])
+		p1 := p.MulMV(m.N.E[2*row+1], v.N.E[1])
+		kids[row] = p.Add(p0, p1)
+	}
+	r := p.makeVNode(m.N.Level, kids[0], kids[1])
+	*ent = mvEntry{m: m.N, v: v.N, r: r}
+	return p.scaleV(r, w)
+}
+
+// MulMM returns the matrix product a·b of two operator diagrams.
+// Used by tests (unitarity checks) and by the matrix–matrix
+// simulation mode of the ablation study (cf. reference [37]).
+func (p *Package) MulMM(a, b MEdge) MEdge {
+	if a.IsZero() || b.IsZero() {
+		return p.ZeroMEdge()
+	}
+	w := p.W.Mul(a.W, b.W)
+	if a.IsTerminal() && b.IsTerminal() {
+		return MEdge{N: nil, W: w}
+	}
+	if a.IsTerminal() || b.IsTerminal() {
+		panic("dd: MulMM level mismatch")
+	}
+	if a.N.Level != b.N.Level {
+		panic("dd: MulMM level mismatch")
+	}
+
+	idx := mixHash(uint64(a.N.id), uint64(b.N.id), 7) & (1<<mmCacheBits - 1)
+	ent := &p.mmCache[idx]
+	if ent.a == a.N && ent.b == b.N {
+		return p.scaleM(ent.r, w)
+	}
+
+	var kids [4]MEdge
+	for row := 0; row < 2; row++ {
+		for col := 0; col < 2; col++ {
+			t0 := p.MulMM(a.N.E[2*row+0], b.N.E[0+col])
+			t1 := p.MulMM(a.N.E[2*row+1], b.N.E[2+col])
+			kids[2*row+col] = p.AddM(t0, t1)
+		}
+	}
+	r := p.makeMNode(a.N.Level, kids)
+	*ent = mmEntry{a: a.N, b: b.N, r: r}
+	return p.scaleM(r, w)
+}
+
+// Kron returns the Kronecker product a ⊗ b, where a acts on the more
+// significant qubits. b's top level must leave room for a's levels
+// below the package's qubit budget.
+func (p *Package) Kron(a, b MEdge) MEdge {
+	if a.IsZero() || b.IsZero() {
+		return p.ZeroMEdge()
+	}
+	if a.IsTerminal() {
+		return p.scaleM(b, a.W)
+	}
+	bTop := b.Level()
+
+	idx := mixHash(uint64(a.N.id), uint64(mid(b.N)), uint64(b.W.ID()), 13) & (1<<kronCacheBits - 1)
+	ent := &p.kronCache[idx]
+	if ent.a == a.N && ent.b == b.N && ent.bw == b.W {
+		return p.scaleM(ent.r, a.W)
+	}
+
+	r := p.kronRec(MEdge{N: a.N, W: p.W.One}, b, bTop)
+	*ent = kronEntry{a: a.N, b: b.N, bw: b.W, r: r}
+	return p.scaleM(r, a.W)
+}
+
+func (p *Package) kronRec(a, b MEdge, bTop int) MEdge {
+	if a.IsZero() {
+		return p.ZeroMEdge()
+	}
+	if a.IsTerminal() {
+		return p.scaleM(b, a.W)
+	}
+	var kids [4]MEdge
+	for i := 0; i < 4; i++ {
+		kids[i] = p.kronRec(a.N.E[i], b, bTop)
+	}
+	e := p.makeMNode(a.N.Level+bTop, kids)
+	return p.scaleM(e, a.W)
+}
+
+// Dot returns the inner product ⟨a|b⟩ (conjugate-linear in a).
+func (p *Package) Dot(a, b VEdge) complex128 {
+	if a.IsZero() || b.IsZero() {
+		return 0
+	}
+	w := cmplx.Conj(a.W.Complex()) * b.W.Complex()
+	if a.IsTerminal() && b.IsTerminal() {
+		return w
+	}
+	if a.IsTerminal() || b.IsTerminal() || a.N.Level != b.N.Level {
+		panic("dd: Dot of vectors with different levels")
+	}
+
+	idx := mixHash(uint64(a.N.id), uint64(b.N.id), 29) & (1<<dotCacheBits - 1)
+	ent := &p.dotCache[idx]
+	if ent.ok && ent.a == a.N && ent.b == b.N {
+		return w * ent.r
+	}
+	r := p.Dot(a.N.E[0], b.N.E[0]) + p.Dot(a.N.E[1], b.N.E[1])
+	*ent = dotEntry{a: a.N, b: b.N, r: r, ok: true}
+	return w * r
+}
+
+// Fidelity returns |⟨a|b⟩|², the squared overlap of two pure states —
+// the prototypical "quadratic property" of the paper's Section III.
+func (p *Package) Fidelity(a, b VEdge) float64 {
+	d := p.Dot(a, b)
+	return real(d)*real(d) + imag(d)*imag(d)
+}
+
+// ConjugateTranspose returns the adjoint (dagger) of an operator
+// diagram: quadrants 1 and 2 are swapped and all weights conjugated.
+func (p *Package) ConjugateTranspose(m MEdge) MEdge {
+	if m.IsTerminal() {
+		return MEdge{N: nil, W: p.W.Conj(m.W)}
+	}
+	w := p.W.Conj(m.W)
+	idx := mixHash(uint64(m.N.id), 31) & (1<<ctCacheBits - 1)
+	ent := &p.ctCache[idx]
+	if ent.m == m.N {
+		return p.scaleM(ent.r, w)
+	}
+	var kids [4]MEdge
+	kids[0] = p.ConjugateTranspose(m.N.E[0])
+	kids[1] = p.ConjugateTranspose(m.N.E[2])
+	kids[2] = p.ConjugateTranspose(m.N.E[1])
+	kids[3] = p.ConjugateTranspose(m.N.E[3])
+	r := p.makeMNode(m.N.Level, kids)
+	*ent = ctEntry{m: m.N, r: r}
+	return p.scaleM(r, w)
+}

@@ -1,0 +1,173 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomVecDD builds a DD for a random dense vector and returns both.
+func randomVecDD(p *Package, rng *rand.Rand) (VEdge, []complex128) {
+	amps := make([]complex128, 1<<uint(p.NumQubits()))
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return p.FromVector(amps), amps
+}
+
+// TestAddCommutesProperty: a+b and b+a must be the identical canonical
+// edge, not merely numerically equal — this exercises normalisation
+// and hash-consing together.
+func TestAddCommutesProperty(t *testing.T) {
+	p := NewPackage(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := randomVecDD(p, rng)
+		b, _ := randomVecDD(p, rng)
+		return p.Add(a, b) == p.Add(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddAssociatesProperty: (a+b)+c == a+(b+c) up to tolerance-level
+// numerics; canonical edges must agree because interning snaps values.
+func TestAddAssociatesProperty(t *testing.T) {
+	p := NewPackage(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, av := randomVecDD(p, rng)
+		b, bv := randomVecDD(p, rng)
+		c, cv := randomVecDD(p, rng)
+		l := p.ToVector(p.Add(p.Add(a, b), c))
+		r := p.ToVector(p.Add(a, p.Add(b, c)))
+		for i := range l {
+			want := av[i] + bv[i] + cv[i]
+			if cmplx.Abs(l[i]-want) > 1e-8 || cmplx.Abs(r[i]-want) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMulMVLinearityProperty: M(αv) == α·Mv.
+func TestMulMVLinearityProperty(t *testing.T) {
+	p := NewPackage(3)
+	m := p.ControlledGate(Mat2{{0, 1}, {1, 0}}, 2, []Control{{Qubit: 0}})
+	f := func(seed int64, re, im float64) bool {
+		re = math.Mod(re, 2)
+		im = math.Mod(im, 2)
+		if math.IsNaN(re) || math.IsNaN(im) || (re == 0 && im == 0) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		v, _ := randomVecDD(p, rng)
+		alpha := p.W.Lookup(re, im)
+		l := p.ToVector(p.MulMV(m, p.scaleV(v, alpha)))
+		r := p.ToVector(p.scaleV(p.MulMV(m, v), alpha))
+		for i := range l {
+			if cmplx.Abs(l[i]-r[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDotCauchySchwarzProperty: |⟨a|b⟩|² ≤ ⟨a|a⟩·⟨b|b⟩.
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	p := NewPackage(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := randomVecDD(p, rng)
+		b, _ := randomVecDD(p, rng)
+		lhs := p.Fidelity(a, b)
+		rhs := p.Norm2(a) * p.Norm2(b)
+		return lhs <= rhs*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnitaryPreservesDotProperty: ⟨Ua|Ub⟩ == ⟨a|b⟩ for unitary U.
+func TestUnitaryPreservesDotProperty(t *testing.T) {
+	p := NewPackage(3)
+	h := Mat2{{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}}
+	u := p.MulMM(p.SingleQubitGate(h, 0), p.ControlledGate(Mat2{{0, 1}, {1, 0}}, 1, []Control{{Qubit: 2}}))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := randomVecDD(p, rng)
+		b, _ := randomVecDD(p, rng)
+		before := p.Dot(a, b)
+		after := p.Dot(p.MulMV(u, a), p.MulMV(u, b))
+		return cmplx.Abs(before-after) < 1e-7*(1+cmplx.Abs(before))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormalizationInvariant: every stored node has its largest
+// outgoing weight equal to 1 (magnitude), the core canonicity rule.
+func TestNormalizationInvariant(t *testing.T) {
+	p := NewPackage(4)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20; i++ {
+		e, _ := randomVecDD(p, rng)
+		checkNormalized(t, p, e.N, map[*VNode]bool{})
+	}
+}
+
+func checkNormalized(t *testing.T, p *Package, n *VNode, seen map[*VNode]bool) {
+	t.Helper()
+	if n == nil || seen[n] {
+		return
+	}
+	seen[n] = true
+	maxMag := math.Max(n.E[0].W.Mag2(), n.E[1].W.Mag2())
+	if math.Abs(maxMag-1) > 1e-9 {
+		t.Fatalf("node at level %d: max outgoing weight² = %v, want 1", n.Level, maxMag)
+	}
+	checkNormalized(t, p, n.E[0].N, seen)
+	checkNormalized(t, p, n.E[1].N, seen)
+}
+
+// TestKronDistributesOverMulProperty: (A⊗B)(C⊗D) == (AC)⊗(BD) for
+// 1-qubit blocks.
+func TestKronDistributesOverMulProperty(t *testing.T) {
+	p := NewPackage(2)
+	mats := []Mat2{
+		{{0, 1}, {1, 0}},
+		{{1, 0}, {0, -1}},
+		{{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+			{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}},
+		{{1, 0}, {0, complex(0, 1)}},
+	}
+	for _, a := range mats {
+		for _, b := range mats {
+			for _, c := range mats {
+				for _, d := range mats {
+					lhs := p.MulMM(p.Kron(p.Embed2x2(a), p.Embed2x2(b)),
+						p.Kron(p.Embed2x2(c), p.Embed2x2(d)))
+					rhs := p.Kron(p.MulMM(p.Embed2x2(a), p.Embed2x2(c)),
+						p.MulMM(p.Embed2x2(b), p.Embed2x2(d)))
+					if lhs != rhs {
+						t.Fatalf("(A⊗B)(C⊗D) != (AC)⊗(BD) for %v %v %v %v", a, b, c, d)
+					}
+				}
+			}
+		}
+	}
+}

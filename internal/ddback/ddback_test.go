@@ -1,0 +1,133 @@
+package ddback
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/sim"
+)
+
+func build(t *testing.T, c *circuit.Circuit) *Backend {
+	t.Helper()
+	b, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCompileRejectsUnknownGate(t *testing.T) {
+	c := circuit.New("bad", 1)
+	c.Gate("warp", 0)
+	if _, err := New(c); err == nil {
+		t.Error("unknown gate compiled")
+	}
+}
+
+func TestGateCacheReusedAcrossRuns(t *testing.T) {
+	c := circuit.GHZ(6)
+	b := build(t, c)
+	for run := 0; run < 3; run++ {
+		b.Reset()
+		for i := range c.Ops {
+			b.ApplyOp(i)
+		}
+		if p := b.Probability(0); math.Abs(p-0.5) > 1e-12 {
+			t.Fatalf("run %d: P(|0…0⟩) = %v", run, p)
+		}
+	}
+}
+
+func TestNodeCountTracksState(t *testing.T) {
+	c := circuit.GHZ(10)
+	b := build(t, c)
+	if n := b.NodeCount(); n != 10 {
+		t.Errorf("|0…0⟩ node count = %d, want 10", n)
+	}
+	for i := range c.Ops {
+		b.ApplyOp(i)
+	}
+	if n := b.NodeCount(); n != 19 {
+		t.Errorf("GHZ node count = %d, want 19", n)
+	}
+}
+
+func TestPauliCacheConsistency(t *testing.T) {
+	c := circuit.GHZ(4)
+	b := build(t, c)
+	for i := range c.Ops {
+		b.ApplyOp(i)
+	}
+	// X on every qubit maps GHZ to itself.
+	for q := 0; q < 4; q++ {
+		b.ApplyPauli(sim.PauliX, q)
+	}
+	if p := b.Probability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("after X⊗4: P(|0000⟩) = %v", p)
+	}
+	// Repeat: caches must serve the same diagrams.
+	for q := 0; q < 4; q++ {
+		b.ApplyPauli(sim.PauliX, q)
+	}
+	if p := b.Probability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("after X⊗8: P(|0000⟩) = %v", p)
+	}
+}
+
+func TestCollapseGuards(t *testing.T) {
+	b := build(t, circuit.GHZ(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("Collapse with prob 0 did not panic")
+		}
+	}()
+	b.Collapse(0, 0, 0)
+}
+
+func TestDampingGuards(t *testing.T) {
+	b := build(t, circuit.GHZ(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("ApplyDamping with prob 0 did not panic")
+		}
+	}()
+	b.ApplyDamping(0, 0.1, true, 0)
+}
+
+func TestLongNoisySessionStaysHealthy(t *testing.T) {
+	// Exercises the GC path: many runs with damping-induced weight
+	// churn must neither leak unboundedly nor corrupt the state.
+	c := circuit.GHZ(8)
+	b := build(t, c)
+	rng := rand.New(rand.NewSource(5))
+	for run := 0; run < 200; run++ {
+		b.Reset()
+		for i := range c.Ops {
+			b.ApplyOp(i)
+			q := c.Ops[i].Target
+			b.ApplyDamping(q, 0.01, false, 1-0.01*b.ProbOne(q))
+		}
+		if n2 := b.Norm2(); math.Abs(n2-1) > 1e-6 {
+			t.Fatalf("run %d: norm² = %v", run, n2)
+		}
+		_ = b.SampleBasis(rng)
+	}
+	if b.Package().VNodeCount() > 500000 {
+		t.Errorf("unique table grew to %d nodes", b.Package().VNodeCount())
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	b := build(t, circuit.GHZ(3))
+	if b.Name() != "dd" || b.NumQubits() != 3 {
+		t.Errorf("identity: %s/%d", b.Name(), b.NumQubits())
+	}
+	if b.State().N == nil {
+		t.Error("state edge is terminal")
+	}
+	if b.Package() == nil {
+		t.Error("package not exposed")
+	}
+}

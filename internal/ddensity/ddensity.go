@@ -1,0 +1,259 @@
+// Package ddensity implements deterministic noisy simulation with
+// decision diagrams: the density matrix ρ itself is stored as a
+// matrix DD and every error channel is applied exactly,
+// ρ → Σ_k K_k ρ K_k†, using the DD engine's matrix algebra.
+//
+// This is the approach of Grurl, Fuß and Wille, "Considering
+// decoherence errors in the simulation of quantum circuits using
+// decision diagrams" (ICCAD 2020) — reference [20] of the reproduced
+// paper, by the same group. The DATE 2021 paper positions stochastic
+// simulation *against* this deterministic alternative: tracking ρ
+// exactly squares the representation (2^n × 2^n), but produces exact
+// probabilities with a single pass instead of M samples. Keeping both
+// engines in one repository makes the trade-off measurable — see the
+// BenchmarkAblationStochasticVsDeterministic benchmark and the
+// deterministic-vs-stochastic section of EXPERIMENTS.md.
+package ddensity
+
+import (
+	"fmt"
+	"math"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/dd"
+	"ddsim/internal/noise"
+)
+
+// Simulator evolves a density-matrix decision diagram.
+type Simulator struct {
+	pkg *dd.Package
+	rho dd.MEdge
+	n   int
+
+	// kraus caches the embedded channel operators per (channel, qubit).
+	kraus map[krausKey][]dd.MEdge
+}
+
+type krausKey struct {
+	channel string
+	qubit   int
+}
+
+// New returns a simulator initialised to ρ = |0…0⟩⟨0…0| (an n-node
+// projector chain — linear, like the zero state's vector DD).
+func New(n int) *Simulator {
+	p := dd.NewPackage(n)
+	p0 := dd.Mat2{{1, 0}, {0, 0}}
+	factors := make([]*dd.Mat2, n)
+	for i := range factors {
+		factors[i] = &p0
+	}
+	rho := p.ProductOperator(factors)
+	p.RefM(rho)
+	return &Simulator{pkg: p, rho: rho, n: n, kraus: make(map[krausKey][]dd.MEdge)}
+}
+
+// NumQubits returns the register size.
+func (s *Simulator) NumQubits() int { return s.n }
+
+// Package exposes the underlying DD package (diagnostics, node counts).
+func (s *Simulator) Package() *dd.Package { return s.pkg }
+
+// Rho returns the current density diagram (read-only).
+func (s *Simulator) Rho() dd.MEdge { return s.rho }
+
+// NodeCount returns the size of the density diagram — the paper's
+// compactness measure, squared representation included.
+func (s *Simulator) NodeCount() int { return s.pkg.NodeCountM(s.rho) }
+
+func (s *Simulator) setRho(r dd.MEdge) {
+	s.pkg.RefM(r)
+	s.pkg.UnrefM(s.rho)
+	s.rho = r
+	s.pkg.MaybeGC()
+}
+
+// ApplyGate conjugates the state with a (controlled) unitary:
+// ρ → UρU†.
+func (s *Simulator) ApplyGate(u circuit.Mat2, target int, controls []circuit.Control) {
+	ctl := make([]dd.Control, len(controls))
+	for i, c := range controls {
+		ctl[i] = dd.Control{Qubit: c.Qubit, Negative: c.Negative}
+	}
+	g := s.pkg.ControlledGate(dd.Mat2(u), target, ctl)
+	gd := s.pkg.ConjugateTranspose(g)
+	s.setRho(s.pkg.MulMM(s.pkg.MulMM(g, s.rho), gd))
+}
+
+// ApplyChannel applies a single-qubit channel given by Kraus
+// operators: ρ → Σ_k K ρ K†. The embedded operators are cached per
+// (channel name, qubit).
+func (s *Simulator) ApplyChannel(name string, kraus [][2][2]complex128, qubit int) {
+	key := krausKey{channel: name, qubit: qubit}
+	ops, ok := s.kraus[key]
+	if !ok {
+		for _, k := range kraus {
+			e := s.pkg.SingleQubitGate(dd.Mat2(k), qubit)
+			s.pkg.RefM(e)
+			ops = append(ops, e)
+		}
+		s.kraus[key] = ops
+	}
+	acc := s.pkg.ZeroMEdge()
+	for _, k := range ops {
+		term := s.pkg.MulMM(s.pkg.MulMM(k, s.rho), s.pkg.ConjugateTranspose(k))
+		acc = s.pkg.AddM(acc, term)
+	}
+	s.setRho(acc)
+}
+
+// ApplyNoiseAfterGate applies the exact channels of the stochastic
+// model to every touched qubit, in the driver's order.
+func (s *Simulator) ApplyNoiseAfterGate(m noise.Model, qubits []int) {
+	ops := m.KrausOps()
+	for _, q := range qubits {
+		if k, ok := ops["depolarizing"]; ok {
+			s.ApplyChannel("depolarizing", k, q)
+		}
+		if k, ok := ops["damping"]; ok {
+			s.ApplyChannel("damping", k, q)
+		}
+		if k, ok := ops["phaseflip"]; ok {
+			s.ApplyChannel("phaseflip", k, q)
+		}
+	}
+}
+
+// MeasureDecohere dephases one qubit (ρ → P0ρP0 + P1ρP1), the
+// ensemble-averaged measurement.
+func (s *Simulator) MeasureDecohere(qubit int) {
+	s.ApplyChannel("measure", [][2][2]complex128{
+		{{1, 0}, {0, 0}},
+		{{0, 0}, {0, 1}},
+	}, qubit)
+}
+
+// Probability returns ⟨idx|ρ|idx⟩ by walking the diagonal path of the
+// diagram (quadrant 0 for bit 0, quadrant 3 for bit 1).
+func (s *Simulator) Probability(idx uint64) float64 {
+	if s.n < 64 && idx >= 1<<uint(s.n) {
+		panic(fmt.Sprintf("ddensity: basis index %d out of range", idx))
+	}
+	w := s.rho.W.Complex()
+	cur := s.rho
+	for !cur.IsTerminal() {
+		node := cur.N
+		bit := (idx >> uint(node.Level-1)) & 1
+		cur = node.E[bit*3]
+		w *= cur.W.Complex()
+		if cur.N == nil && cur.W.Mag2() == 0 {
+			return 0
+		}
+	}
+	return real(w)
+}
+
+// Trace returns tr(ρ); trace-preserving evolution keeps it at 1.
+func (s *Simulator) Trace() float64 {
+	cache := make(map[*dd.MNode]complex128)
+	var walk func(e dd.MEdge) complex128
+	walk = func(e dd.MEdge) complex128 {
+		if e.IsZero() {
+			return 0
+		}
+		if e.IsTerminal() {
+			return e.W.Complex()
+		}
+		if r, ok := cache[e.N]; ok {
+			return e.W.Complex() * r
+		}
+		r := walk(e.N.E[0]) + walk(e.N.E[3])
+		cache[e.N] = r
+		return e.W.Complex() * r
+	}
+	return real(walk(s.rho))
+}
+
+// Purity returns tr(ρ²).
+func (s *Simulator) Purity() float64 {
+	sq := s.pkg.MulMM(s.rho, s.rho)
+	cache := make(map[*dd.MNode]complex128)
+	var walk func(e dd.MEdge) complex128
+	walk = func(e dd.MEdge) complex128 {
+		if e.IsZero() {
+			return 0
+		}
+		if e.IsTerminal() {
+			return e.W.Complex()
+		}
+		if r, ok := cache[e.N]; ok {
+			return e.W.Complex() * r
+		}
+		r := walk(e.N.E[0]) + walk(e.N.E[3])
+		cache[e.N] = r
+		return e.W.Complex() * r
+	}
+	return real(walk(sq))
+}
+
+// Probabilities returns the full diagonal for small registers.
+func (s *Simulator) Probabilities() []float64 {
+	if s.n > 20 {
+		panic("ddensity: Probabilities limited to 20 qubits")
+	}
+	out := make([]float64, 1<<uint(s.n))
+	for i := range out {
+		out[i] = s.Probability(uint64(i))
+	}
+	return out
+}
+
+// RunCircuit evolves a whole circuit deterministically under the
+// noise model: gates as conjugations, errors as channels,
+// measurements as dephasing. Classically conditioned operations are
+// not representable in a deterministic mixed-state pass and are
+// rejected.
+func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range c.Ops {
+		if c.Ops[i].Cond != nil {
+			return nil, fmt.Errorf("ddensity: classically conditioned gates are not supported")
+		}
+	}
+	s := New(c.NumQubits)
+	resetKraus := [][2][2]complex128{
+		{{1, 0}, {0, 0}},
+		{{0, 1}, {0, 0}},
+	}
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		switch op.Kind {
+		case circuit.KindGate:
+			u, err := circuit.GateMatrix(op.Name, op.Params)
+			if err != nil {
+				return nil, fmt.Errorf("ddensity: op %d: %w", i, err)
+			}
+			s.ApplyGate(u, op.Target, op.Controls)
+			if model.Enabled() {
+				s.ApplyNoiseAfterGate(model, op.Qubits())
+			}
+		case circuit.KindMeasure:
+			s.MeasureDecohere(op.Target)
+		case circuit.KindReset:
+			s.ApplyChannel("reset", resetKraus, op.Target)
+		case circuit.KindBarrier:
+		}
+	}
+	// Numerical hygiene: renormalise the trace, which can drift by
+	// ~1e-12 per channel over long circuits.
+	if tr := s.Trace(); math.Abs(tr-1) > 1e-9 && tr > 0 {
+		scaled := dd.MEdge{N: s.rho.N, W: s.pkg.W.LookupC(s.rho.W.Complex() * complex(1/tr, 0))}
+		s.setRho(scaled)
+	}
+	return s, nil
+}

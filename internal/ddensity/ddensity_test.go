@@ -1,0 +1,159 @@
+package ddensity
+
+import (
+	"math"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/density"
+	"ddsim/internal/noise"
+)
+
+func TestInitialState(t *testing.T) {
+	s := New(4)
+	if p := s.Probability(0); math.Abs(p-1) > 1e-12 {
+		t.Errorf("P(|0000⟩) = %v", p)
+	}
+	if tr := s.Trace(); math.Abs(tr-1) > 1e-12 {
+		t.Errorf("trace = %v", tr)
+	}
+	if pu := s.Purity(); math.Abs(pu-1) > 1e-12 {
+		t.Errorf("purity = %v", pu)
+	}
+	// |0…0⟩⟨0…0| is a linear-size diagram.
+	if n := s.NodeCount(); n != 4 {
+		t.Errorf("initial density DD has %d nodes, want 4", n)
+	}
+}
+
+func TestMatchesDenseDensitySimulator(t *testing.T) {
+	// The DD density simulator must agree exactly with the dense
+	// density-matrix reference on every probability.
+	models := []noise.Model{
+		{},
+		{Depolarizing: 0.05, Damping: 0.1, PhaseFlip: 0.05},
+		{Damping: 0.2, DampingAsEvent: true},
+	}
+	circs := []*circuit.Circuit{
+		circuit.GHZ(4),
+		circuit.QFTWithInput(3, 0b101),
+	}
+	for _, m := range models {
+		for _, c := range circs {
+			want, err := density.RunCircuit(c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunCircuit(c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for idx := uint64(0); idx < 1<<uint(c.NumQubits); idx++ {
+				if d := math.Abs(got.Probability(idx) - want.Probability(idx)); d > 1e-9 {
+					t.Errorf("%s (%s): P(%d) differs by %v", c.Name, m, idx, d)
+				}
+			}
+			if d := math.Abs(got.Purity() - want.Purity()); d > 1e-9 {
+				t.Errorf("%s (%s): purity differs by %v", c.Name, m, d)
+			}
+		}
+	}
+}
+
+func TestGHZDensityDiagramStaysCompact(t *testing.T) {
+	// The selling point of reference [20]: for structured circuits and
+	// dephasing-style noise the density diagram stays far below the
+	// 4^n dense representation.
+	s, err := RunCircuit(circuit.GHZ(16), noise.Model{PhaseFlip: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.NodeCount(); n > 200 {
+		t.Errorf("dephasing GHZ(16) density DD has %d nodes", n)
+	}
+	if tr := s.Trace(); math.Abs(tr-1) > 1e-6 {
+		t.Errorf("trace = %v", tr)
+	}
+	// Phase flips do not change GHZ populations.
+	p0 := s.Probability(0)
+	p1 := s.Probability(1<<16 - 1)
+	if math.Abs(p0-0.5) > 1e-9 || math.Abs(p1-0.5) > 1e-9 {
+		t.Errorf("GHZ probabilities %v, %v", p0, p1)
+	}
+}
+
+func TestFullNoiseDensityDDCompression(t *testing.T) {
+	// With all three channels the mixture picks up exponentially many
+	// O(p^k) correction terms; the diagram grows but must stay well
+	// below the 4^n dense representation (here 4^10 ≈ 10^6).
+	s, err := RunCircuit(circuit.GHZ(10), noise.PaperDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.NodeCount(); n > 1<<18 {
+		t.Errorf("noisy GHZ(10) density DD has %d nodes", n)
+	}
+	if tr := s.Trace(); math.Abs(tr-1) > 1e-6 {
+		t.Errorf("trace = %v", tr)
+	}
+	p0 := s.Probability(0)
+	p1 := s.Probability(1<<10 - 1)
+	if p0 < 0.4 || p0 > 0.55 || p1 < 0.4 || p1 > 0.55 {
+		t.Errorf("GHZ probabilities %v, %v", p0, p1)
+	}
+}
+
+func TestMeasureDecohereKillsCoherence(t *testing.T) {
+	bell := circuit.New("bell", 2)
+	bell.H(0).CX(0, 1)
+	s, err := RunCircuit(bell, noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pu := s.Purity(); math.Abs(pu-1) > 1e-9 {
+		t.Fatalf("pure state purity = %v", pu)
+	}
+	s.MeasureDecohere(0)
+	if pu := s.Purity(); math.Abs(pu-0.5) > 1e-9 {
+		t.Errorf("dephased Bell purity = %v, want 0.5", pu)
+	}
+}
+
+func TestConditionalRejected(t *testing.T) {
+	c := circuit.New("cond", 2)
+	c.Measure(0, 0)
+	c.Append(circuit.Op{Kind: circuit.KindGate, Name: "x", Target: 1,
+		Cond: &circuit.Condition{Bits: []int{0}, Value: 1}})
+	if _, err := RunCircuit(c, noise.Model{}); err == nil {
+		t.Error("conditioned circuit accepted")
+	}
+}
+
+func TestResetInDensityDD(t *testing.T) {
+	c := circuit.New("r", 2)
+	c.H(0).Reset(0)
+	s, err := RunCircuit(c, noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(0); math.Abs(p-1) > 1e-9 {
+		t.Errorf("P(|00⟩) after reset = %v", p)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	s, err := RunCircuit(circuit.QFT(5), noise.Model{Depolarizing: 0.02, PhaseFlip: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range s.Probabilities() {
+		if p < -1e-12 {
+			t.Errorf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}

@@ -1,0 +1,265 @@
+// Package density implements an exact density-matrix simulator: the
+// "rigorous mathematical formalism" of the paper's Section III
+// (quantum channels and mixed states) that stochastic simulation
+// deliberately avoids at scale. Here it serves as ground truth for
+// small registers: the Monte-Carlo estimates of internal/stochastic
+// must converge to the probabilities this simulator computes exactly,
+// which is what the convergence tests and the Theorem 1 experiment
+// verify.
+package density
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/noise"
+)
+
+// MaxQubits bounds the register size: density matrices are 4^n
+// complex numbers, amplifying the curse of dimensionality exactly as
+// the paper warns.
+const MaxQubits = 10
+
+// Simulator evolves a density matrix ρ under gates and channels.
+type Simulator struct {
+	n   int
+	dim int
+	rho [][]complex128
+}
+
+// New returns a simulator initialised to ρ = |0…0⟩⟨0…0|.
+func New(n int) (*Simulator, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("density: %d qubits outside supported range 1..%d", n, MaxQubits)
+	}
+	dim := 1 << uint(n)
+	s := &Simulator{n: n, dim: dim, rho: make([][]complex128, dim)}
+	for i := range s.rho {
+		s.rho[i] = make([]complex128, dim)
+	}
+	s.rho[0][0] = 1
+	return s, nil
+}
+
+// NumQubits returns the register size.
+func (s *Simulator) NumQubits() int { return s.n }
+
+// bitOf maps qubit index to bit position (q0 most significant).
+func (s *Simulator) bitOf(q int) uint { return uint(s.n - 1 - q) }
+
+// ApplyGate conjugates ρ with the (controlled) single-target unitary:
+// ρ → UρU†.
+func (s *Simulator) ApplyGate(u circuit.Mat2, target int, controls []circuit.Control) {
+	bit := s.bitOf(target)
+	var mask, want uint64
+	for _, c := range controls {
+		m := uint64(1) << s.bitOf(c.Qubit)
+		mask |= m
+		if !c.Negative {
+			want |= m
+		}
+	}
+	s.leftMultiply(u, bit, mask, want)
+	s.rightMultiplyDagger(u, bit, mask, want)
+}
+
+// leftMultiply sets ρ ← AρA acting on columns (ρ ← Aρ).
+func (s *Simulator) leftMultiply(a circuit.Mat2, bit uint, mask, want uint64) {
+	stride := uint64(1) << bit
+	for col := 0; col < s.dim; col++ {
+		for base := uint64(0); base < uint64(s.dim); base += 2 * stride {
+			for i := base; i < base+stride; i++ {
+				if i&mask != want {
+					continue
+				}
+				r0 := s.rho[i][col]
+				r1 := s.rho[i|stride][col]
+				s.rho[i][col] = a[0][0]*r0 + a[0][1]*r1
+				s.rho[i|stride][col] = a[1][0]*r0 + a[1][1]*r1
+			}
+		}
+	}
+}
+
+// rightMultiplyDagger sets ρ ← ρA†, implemented as applying conj(A)
+// to every row: (ρA†)[i][j] = Σ_k conj(A[j][k]) ρ[i][k].
+func (s *Simulator) rightMultiplyDagger(a circuit.Mat2, bit uint, mask, want uint64) {
+	stride := uint64(1) << bit
+	c00, c01 := cmplx.Conj(a[0][0]), cmplx.Conj(a[0][1])
+	c10, c11 := cmplx.Conj(a[1][0]), cmplx.Conj(a[1][1])
+	for row := 0; row < s.dim; row++ {
+		r := s.rho[row]
+		for base := uint64(0); base < uint64(s.dim); base += 2 * stride {
+			for j := base; j < base+stride; j++ {
+				if j&mask != want {
+					continue
+				}
+				r0 := r[j]
+				r1 := r[j|stride]
+				r[j] = c00*r0 + c01*r1
+				r[j|stride] = c10*r0 + c11*r1
+			}
+		}
+	}
+}
+
+// ApplyChannel applies a single-qubit channel with the given Kraus
+// operators to one qubit: ρ → Σ_k K ρ K†.
+func (s *Simulator) ApplyChannel(kraus [][2][2]complex128, qubit int) {
+	bit := s.bitOf(qubit)
+	acc := make([][]complex128, s.dim)
+	for i := range acc {
+		acc[i] = make([]complex128, s.dim)
+	}
+	saved := s.rho
+	for _, k := range kraus {
+		s.rho = cloneMatrix(saved)
+		s.leftMultiply(circuit.Mat2(k), bit, 0, 0)
+		s.rightMultiplyDagger(circuit.Mat2(k), bit, 0, 0)
+		for i := range acc {
+			for j := range acc[i] {
+				acc[i][j] += s.rho[i][j]
+			}
+		}
+	}
+	s.rho = acc
+}
+
+func cloneMatrix(m [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(m))
+	for i := range m {
+		out[i] = make([]complex128, len(m[i]))
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// ApplyNoiseAfterGate applies the exact channel versions of the
+// stochastic noise model to each touched qubit, in the same order the
+// stochastic driver uses (depolarising → damping → phase flip).
+func (s *Simulator) ApplyNoiseAfterGate(m noise.Model, qubits []int) {
+	ops := m.KrausOps()
+	for _, q := range qubits {
+		if k, ok := ops["depolarizing"]; ok {
+			s.ApplyChannel(k, q)
+		}
+		if k, ok := ops["damping"]; ok {
+			s.ApplyChannel(k, q)
+		}
+		if k, ok := ops["phaseflip"]; ok {
+			s.ApplyChannel(k, q)
+		}
+	}
+}
+
+// MeasureDecohere dephases one qubit in the computational basis
+// (ρ → P0ρP0 + P1ρP1) — the ensemble-average effect of a projective
+// measurement whose outcome is not post-selected. This matches
+// averaging the stochastic driver's measured trajectories.
+func (s *Simulator) MeasureDecohere(qubit int) {
+	p0 := [2][2]complex128{{1, 0}, {0, 0}}
+	p1 := [2][2]complex128{{0, 0}, {0, 1}}
+	s.ApplyChannel([][2][2]complex128{p0, p1}, qubit)
+}
+
+// Probability returns ⟨idx|ρ|idx⟩, the outcome probability of one
+// basis state.
+func (s *Simulator) Probability(idx uint64) float64 {
+	return real(s.rho[idx][idx])
+}
+
+// Probabilities returns the diagonal of ρ.
+func (s *Simulator) Probabilities() []float64 {
+	out := make([]float64, s.dim)
+	for i := range out {
+		out[i] = real(s.rho[i][i])
+	}
+	return out
+}
+
+// Trace returns tr(ρ); it must remain 1 under trace-preserving
+// evolution.
+func (s *Simulator) Trace() complex128 {
+	var t complex128
+	for i := 0; i < s.dim; i++ {
+		t += s.rho[i][i]
+	}
+	return t
+}
+
+// Purity returns tr(ρ²) ∈ (0, 1]; 1 for pure states, smaller for
+// mixtures produced by noise.
+func (s *Simulator) Purity() float64 {
+	p := 0.0
+	for i := 0; i < s.dim; i++ {
+		for j := 0; j < s.dim; j++ {
+			p += real(s.rho[i][j] * s.rho[j][i])
+		}
+	}
+	return p
+}
+
+// FidelityWithPure returns ⟨ψ|ρ|ψ⟩ for a pure reference state.
+func (s *Simulator) FidelityWithPure(psi []complex128) float64 {
+	if len(psi) != s.dim {
+		panic("density: reference state dimension mismatch")
+	}
+	var f complex128
+	for i := 0; i < s.dim; i++ {
+		for j := 0; j < s.dim; j++ {
+			f += cmplx.Conj(psi[i]) * s.rho[i][j] * psi[j]
+		}
+	}
+	return real(f)
+}
+
+// RunCircuit evolves the exact mixed state of the circuit under the
+// noise model: gates as unitaries, noise as channels, measurements as
+// dephasing channels, resets as dephasing followed by conditional
+// flip-to-zero (amplitude set via the reset channel |0⟩⟨0|+|0⟩⟨1|).
+func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	hasCond := false
+	for i := range c.Ops {
+		if c.Ops[i].Cond != nil {
+			hasCond = true
+		}
+	}
+	if hasCond {
+		return nil, fmt.Errorf("density: classically conditioned gates are not supported by the exact reference")
+	}
+	s, err := New(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	resetKraus := [][2][2]complex128{
+		{{1, 0}, {0, 0}}, // |0⟩⟨0|
+		{{0, 1}, {0, 0}}, // |0⟩⟨1|
+	}
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		switch op.Kind {
+		case circuit.KindGate:
+			u, err := circuit.GateMatrix(op.Name, op.Params)
+			if err != nil {
+				return nil, fmt.Errorf("density: op %d: %w", i, err)
+			}
+			s.ApplyGate(u, op.Target, op.Controls)
+			if model.Enabled() {
+				s.ApplyNoiseAfterGate(model, op.Qubits())
+			}
+		case circuit.KindMeasure:
+			s.MeasureDecohere(op.Target)
+		case circuit.KindReset:
+			s.ApplyChannel(resetKraus, op.Target)
+		case circuit.KindBarrier:
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,213 @@
+// Package noise implements the paper's stochastic error model
+// (Sections II-B and III): after every executed gate, each touched
+// qubit is subjected to
+//
+//   - a depolarising gate error: with probability p the qubit is set
+//     to a random state, realised by applying one of I, X, Y, Z with
+//     probability p/4 each (Example 3);
+//   - an amplitude-damping (T1) error: the state-dependent channel of
+//     Example 6 — the decay branch fires with probability
+//     p·P(qubit = 1);
+//   - a phase-flip (T2) error: with probability p a Z is applied.
+//
+// The model is backend-independent: it drives any sim.Backend, so the
+// same stochastic trajectories can be simulated with decision
+// diagrams, state vectors or sparse operators.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ddsim/internal/sim"
+)
+
+// Model holds the three per-gate/per-qubit error probabilities.
+// The zero Model is noise-free.
+type Model struct {
+	// Depolarizing is the gate-error probability (paper: 0.1 %).
+	Depolarizing float64
+	// Damping is the amplitude-damping (T1) probability (paper: 0.2 %).
+	Damping float64
+	// PhaseFlip is the phase-flip (T2) probability (paper: 0.1 %).
+	PhaseFlip float64
+	// DampingAsEvent selects between the two T1 semantics the paper
+	// describes:
+	//
+	//   - false (default): the *exact channel* of Example 6 — Kraus
+	//     operators A0/A1 with parameter p are branch-selected on
+	//     every touched qubit, so even the no-decay branch slightly
+	//     deforms the state (A1 = diag(1, √(1−p))).
+	//   - true: the *event* semantics of Section III ("we mimic the
+	//     effect of this error with probability p and leave the state
+	//     untouched with probability 1−p"): with probability p a full
+	//     T1 relaxation event occurs, branch-selected between decay
+	//     (|1⟩ component dropped to |0⟩) and no-decay projection; with
+	//     probability 1−p the state is bit-for-bit untouched.
+	//
+	// Both are trace-preserving channels (see KrausOps) and both are
+	// validated against the exact density-matrix reference. The event
+	// form is what the paper's evaluation performance implies: the
+	// exact-channel form deforms every touched qubit on every gate,
+	// which destroys product structure and blows decision diagrams up
+	// even on structure-friendly circuits such as Bernstein–Vazirani.
+	DampingAsEvent bool
+}
+
+// PaperDefaults returns the error rates used throughout the paper's
+// evaluation (Section V), with event-style T1 semantics.
+func PaperDefaults() Model {
+	return Model{Depolarizing: 0.001, Damping: 0.002, PhaseFlip: 0.001, DampingAsEvent: true}
+}
+
+// Enabled reports whether any channel has a non-zero probability.
+func (m Model) Enabled() bool {
+	return m.Depolarizing > 0 || m.Damping > 0 || m.PhaseFlip > 0
+}
+
+// Validate checks that all probabilities lie in [0, 1].
+func (m Model) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"depolarizing", m.Depolarizing},
+		{"damping", m.Damping},
+		{"phase-flip", m.PhaseFlip},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("noise: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// String summarises the model.
+func (m Model) String() string {
+	return fmt.Sprintf("depol=%.4f damp=%.4f flip=%.4f", m.Depolarizing, m.Damping, m.PhaseFlip)
+}
+
+// ApplyAfterGate stochastically injects errors on each qubit a gate
+// touched, in the fixed order depolarising → damping → phase flip.
+// All randomness comes from rng, so trajectories are reproducible
+// given a seed.
+func (m Model) ApplyAfterGate(b sim.Backend, qubits []int, rng *rand.Rand) {
+	for _, q := range qubits {
+		if m.Depolarizing > 0 && rng.Float64() < m.Depolarizing {
+			// The depolarised qubit receives I, X, Y or Z uniformly.
+			b.ApplyPauli(sim.Pauli(rng.Intn(4)), q)
+		}
+		if m.Damping > 0 {
+			m.applyDamping(b, q, rng)
+		}
+		if m.PhaseFlip > 0 && rng.Float64() < m.PhaseFlip {
+			b.ApplyPauli(sim.PauliZ, q)
+		}
+	}
+}
+
+// applyDamping realises the T1 error in the configured semantics.
+func (m Model) applyDamping(b sim.Backend, q int, rng *rand.Rand) {
+	if m.DampingAsEvent {
+		// Section III event semantics: untouched with prob 1−p.
+		if rng.Float64() >= m.Damping {
+			return
+		}
+		// A relaxation event: full-strength damping (γ = 1), branch
+		// probabilities from the state as in Example 6.
+		p1 := b.ProbOne(q)
+		if p1 <= 0 {
+			return // qubit already in |0⟩: the event is invisible
+		}
+		if p1 >= 1 || rng.Float64() < p1 {
+			b.ApplyDamping(q, 1, true, p1)
+		} else {
+			b.ApplyDamping(q, 1, false, 1-p1)
+		}
+		return
+	}
+	// Exact-channel semantics (Example 6 with γ = p): the branch
+	// probabilities depend on the current state through P(q = 1).
+	p1 := b.ProbOne(q)
+	pFire := m.Damping * p1 // ‖A0|ψ⟩‖²
+	if pFire <= 0 {
+		// Qubit is (numerically) in |0⟩; A1 acts as identity.
+		return
+	}
+	if rng.Float64() < pFire {
+		b.ApplyDamping(q, m.Damping, true, pFire)
+	} else {
+		b.ApplyDamping(q, m.Damping, false, 1-pFire)
+	}
+}
+
+// KrausOps returns the explicit Kraus decomposition of each channel
+// for a damping/depolarising/flip parameter set; used by the exact
+// density-matrix reference simulator and by completeness tests.
+// Each channel is a slice of 2×2 Kraus operators satisfying
+// Σ K†K = I.
+func (m Model) KrausOps() map[string][][2][2]complex128 {
+	out := make(map[string][][2][2]complex128)
+	if m.Depolarizing > 0 {
+		p := m.Depolarizing
+		s := func(f float64) complex128 { return complex(f, 0) }
+		// With probability p the qubit is replaced by a uniformly
+		// random Pauli application (including I): the channel
+		// ρ → (1−p)ρ + p/4 (ρ + XρX + YρY + ZρZ).
+		out["depolarizing"] = [][2][2]complex128{
+			scale2(ident2(), s(sqrt(1-3*p/4))),
+			scale2(pauliX(), s(sqrt(p/4))),
+			scale2(pauliY(), s(sqrt(p/4))),
+			scale2(pauliZ(), s(sqrt(p/4))),
+		}
+	}
+	if m.Damping > 0 {
+		p := m.Damping
+		if m.DampingAsEvent {
+			// With probability p a full relaxation event (γ = 1):
+			// K = {√(1−p)·I, √p·|0⟩⟨1|, √p·|0⟩⟨0|}.
+			out["damping"] = [][2][2]complex128{
+				scale2(ident2(), complex(sqrt(1-p), 0)),
+				{{0, complex(sqrt(p), 0)}, {0, 0}},
+				{{complex(sqrt(p), 0), 0}, {0, 0}},
+			}
+		} else {
+			out["damping"] = [][2][2]complex128{
+				{{0, complex(sqrt(p), 0)}, {0, 0}},
+				{{1, 0}, {0, complex(sqrt(1-p), 0)}},
+			}
+		}
+	}
+	if m.PhaseFlip > 0 {
+		p := m.PhaseFlip
+		out["phaseflip"] = [][2][2]complex128{
+			scale2(ident2(), complex(sqrt(1-p), 0)),
+			scale2(pauliZ(), complex(sqrt(p), 0)),
+		}
+	}
+	return out
+}
+
+func sqrt(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Sqrt(x)
+}
+
+func ident2() [2][2]complex128 { return [2][2]complex128{{1, 0}, {0, 1}} }
+func pauliX() [2][2]complex128 { return [2][2]complex128{{0, 1}, {1, 0}} }
+func pauliY() [2][2]complex128 {
+	return [2][2]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}}
+}
+func pauliZ() [2][2]complex128 { return [2][2]complex128{{1, 0}, {0, -1}} }
+
+func scale2(m [2][2]complex128, s complex128) [2][2]complex128 {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] *= s
+		}
+	}
+	return m
+}

@@ -1,0 +1,225 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// expr is a parameter expression AST node. Gate-body expressions
+// reference gate parameters symbolically, so they are kept as ASTs and
+// evaluated at expansion time with the actual argument bindings.
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type piExpr struct{}
+
+func (piExpr) eval(map[string]float64) (float64, error) { return math.Pi, nil }
+
+type identExpr string
+
+func (id identExpr) eval(env map[string]float64) (float64, error) {
+	v, ok := env[string(id)]
+	if !ok {
+		return 0, fmt.Errorf("undefined parameter %q", string(id))
+	}
+	return v, nil
+}
+
+type negExpr struct{ x expr }
+
+func (n negExpr) eval(env map[string]float64) (float64, error) {
+	v, err := n.x.eval(env)
+	return -v, err
+}
+
+type binExpr struct {
+	op   byte // + - * / ^
+	l, r expr
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero in parameter expression")
+		}
+		return l / r, nil
+	case '^':
+		return math.Pow(l, r), nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", string(b.op))
+	}
+}
+
+type callExpr struct {
+	fn string
+	x  expr
+}
+
+func (c callExpr) eval(env map[string]float64) (float64, error) {
+	v, err := c.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch c.fn {
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		if v <= 0 {
+			return 0, fmt.Errorf("ln of non-positive value %v", v)
+		}
+		return math.Log(v), nil
+	case "sqrt":
+		if v < 0 {
+			return 0, fmt.Errorf("sqrt of negative value %v", v)
+		}
+		return math.Sqrt(v), nil
+	default:
+		return 0, fmt.Errorf("unknown function %q", c.fn)
+	}
+}
+
+// Expression parsing (precedence climbing):
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := unary ('^' factor)?      // right associative
+//	unary  := '-' unary | primary
+//	primary:= number | 'pi' | ident | fn '(' expr ')' | '(' expr ')'
+func (p *parser) parseExpr() (expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.take().text[0]
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "*" || p.peek().text == "/") {
+		op := p.take().text[0]
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	base, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "^" {
+		p.take()
+		exp, err := p.parseFactor() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: '^', l: base, r: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.peek().kind == tokSymbol && p.peek().text == "-" {
+		p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negExpr{x: x}, nil
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "+" {
+		p.take()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+var exprFuncs = map[string]bool{
+	"sin": true, "cos": true, "tan": true, "exp": true, "ln": true, "sqrt": true,
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.take()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errAt(t, "bad number %q", t.text)
+		}
+		return numExpr(v), nil
+	case t.kind == tokIdent && t.text == "pi":
+		p.take()
+		return piExpr{}, nil
+	case t.kind == tokIdent && exprFuncs[t.text]:
+		fn := p.take().text
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return callExpr{fn: fn, x: x}, nil
+	case t.kind == tokIdent:
+		p.take()
+		return identExpr(t.text), nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.take()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, p.errAt(t, "expected expression, found %s", t)
+	}
+}

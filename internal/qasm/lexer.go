@@ -1,0 +1,215 @@
+// Package qasm implements a complete OpenQASM 2.0 front-end: lexer,
+// recursive-descent parser, constant-expression evaluator, the
+// qelib1.inc standard gate library and user gate-macro expansion. It
+// produces the backend-independent circuit IR of internal/circuit.
+//
+// QASMBench (reference [40] of the paper) distributes its circuits in
+// this format; the paper notes that Atos' QLM cannot ingest it — this
+// package is what lets every backend in this repository run the
+// Table Ic workloads.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) [ ] { } ; , + - * / ^
+	tokArrow  // ->
+	tokEqEq   // ==
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("qasm:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+
+	case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		var b strings.Builder
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				b.WriteByte(l.advance())
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				b.WriteByte(l.advance())
+			case (c == 'e' || c == 'E') && !seenExp:
+				seenExp = true
+				b.WriteByte(l.advance())
+				if l.pos < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+					b.WriteByte(l.advance())
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		return token{kind: tokNumber, text: b.String(), line: line, col: col}, nil
+
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for l.pos < len(l.src) && l.peekByte() != '"' {
+			b.WriteByte(l.advance())
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated string literal")
+		}
+		l.advance() // closing quote
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+
+	case c == '-':
+		l.advance()
+		if l.peekByte() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", line: line, col: col}, nil
+		}
+		return token{kind: tokSymbol, text: "-", line: line, col: col}, nil
+
+	case c == '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokEqEq, text: "==", line: line, col: col}, nil
+		}
+		return token{}, l.errorf(line, col, "unexpected '='; did you mean '=='?")
+
+	case strings.ContainsRune("()[]{};,+*/^", rune(c)):
+		l.advance()
+		return token{kind: tokSymbol, text: string(c), line: line, col: col}, nil
+
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenises the entire input (the parser works on a slice).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

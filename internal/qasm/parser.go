@@ -1,0 +1,780 @@
+package qasm
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"ddsim/internal/circuit"
+)
+
+// reg is a declared quantum or classical register, flattened into the
+// circuit's global index space.
+type reg struct {
+	offset int
+	size   int
+}
+
+// gateDef is a user-declared gate macro.
+type gateDef struct {
+	name   string
+	params []string
+	qargs  []string
+	body   []bodyOp
+}
+
+// bodyOp is one operation inside a gate body (a gate call or barrier).
+type bodyOp struct {
+	name    string
+	params  []expr
+	args    []string
+	barrier bool
+}
+
+// nativeSpec describes a built-in gate's arity.
+type nativeSpec struct {
+	params int
+	qubits int
+}
+
+// nativeGates lists the gates handled natively (the OpenQASM builtins
+// U and CX plus the qelib1.inc standard library).
+var nativeGates = map[string]nativeSpec{
+	"U": {3, 1}, "CX": {0, 2},
+	"u3": {3, 1}, "u": {3, 1}, "u2": {2, 1}, "u1": {1, 1}, "p": {1, 1},
+	"u0": {1, 1}, "id": {0, 1},
+	"x": {0, 1}, "y": {0, 1}, "z": {0, 1}, "h": {0, 1},
+	"s": {0, 1}, "sdg": {0, 1}, "t": {0, 1}, "tdg": {0, 1}, "sx": {0, 1},
+	"rx": {1, 1}, "ry": {1, 1}, "rz": {1, 1},
+	"cx": {0, 2}, "cz": {0, 2}, "cy": {0, 2}, "ch": {0, 2}, "swap": {0, 2},
+	"csx": {0, 2},
+	"crx": {1, 2}, "cry": {1, 2}, "crz": {1, 2}, "cp": {1, 2}, "cu1": {1, 2},
+	"cu3": {3, 2}, "rzz": {1, 2}, "rxx": {1, 2},
+	"ccx": {0, 3}, "cswap": {0, 3},
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	circ      *circuit.Circuit
+	qregs     map[string]reg
+	cregs     map[string]reg
+	gates     map[string]*gateDef
+	opaques   map[string]bool
+	qelib     bool
+	nextQubit int
+	nextClbit int
+}
+
+// Parse compiles OpenQASM 2.0 source into a circuit.
+func Parse(name, src string) (*circuit.Circuit, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:    toks,
+		circ:    &circuit.Circuit{Name: name},
+		qregs:   make(map[string]reg),
+		cregs:   make(map[string]reg),
+		gates:   make(map[string]*gateDef),
+		opaques: make(map[string]bool),
+	}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	p.circ.NumQubits = p.nextQubit
+	p.circ.NumClbits = p.nextClbit
+	if p.circ.NumClbits == 0 {
+		p.circ.NumClbits = p.circ.NumQubits
+	}
+	if err := p.circ.Validate(); err != nil {
+		return nil, err
+	}
+	return p.circ, nil
+}
+
+// ParseFile reads and compiles a .qasm file.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, string(data))
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errAt(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("qasm:%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.take()
+	if t.kind != tokSymbol || t.text != s {
+		return p.errAt(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.take()
+	if t.kind != tokIdent {
+		return t, p.errAt(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.take()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errAt(t, "expected %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.take()
+	if t.kind != tokNumber {
+		return 0, p.errAt(t, "expected integer, found %s", t)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errAt(t, "expected integer, found %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseProgram() error {
+	if err := p.expectKeyword("OPENQASM"); err != nil {
+		return err
+	}
+	ver := p.take()
+	if ver.kind != tokNumber || ver.text != "2.0" {
+		return p.errAt(ver, "unsupported OPENQASM version %q (only 2.0)", ver.text)
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	for !p.atEOF() {
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseStatement() error {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return p.errAt(t, "expected statement, found %s", t)
+	}
+	switch t.text {
+	case "include":
+		return p.parseInclude()
+	case "qreg":
+		return p.parseReg(true)
+	case "creg":
+		return p.parseReg(false)
+	case "gate":
+		return p.parseGateDef()
+	case "opaque":
+		return p.parseOpaque()
+	case "if":
+		return p.parseIf()
+	case "barrier":
+		return p.parseBarrier()
+	case "measure":
+		return p.parseMeasure(nil)
+	case "reset":
+		return p.parseReset(nil)
+	default:
+		return p.parseGateCall(nil)
+	}
+}
+
+func (p *parser) parseInclude() error {
+	p.take() // include
+	t := p.take()
+	if t.kind != tokString {
+		return p.errAt(t, "expected include path string, found %s", t)
+	}
+	if t.text != "qelib1.inc" {
+		return p.errAt(t, "unsupported include %q (only \"qelib1.inc\")", t.text)
+	}
+	p.qelib = true
+	return p.expectSymbol(";")
+}
+
+func (p *parser) parseReg(quantum bool) error {
+	p.take() // qreg / creg
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("["); err != nil {
+		return err
+	}
+	size, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	if size < 1 {
+		return p.errAt(name, "register %q has size %d", name.text, size)
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if _, dup := p.qregs[name.text]; dup {
+		return p.errAt(name, "register %q redeclared", name.text)
+	}
+	if _, dup := p.cregs[name.text]; dup {
+		return p.errAt(name, "register %q redeclared", name.text)
+	}
+	if quantum {
+		p.qregs[name.text] = reg{offset: p.nextQubit, size: size}
+		p.nextQubit += size
+		if p.nextQubit > 64 {
+			return p.errAt(name, "more than 64 qubits declared")
+		}
+	} else {
+		p.cregs[name.text] = reg{offset: p.nextClbit, size: size}
+		p.nextClbit += size
+		if p.nextClbit > 64 {
+			return p.errAt(name, "more than 64 classical bits declared")
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseOpaque() error {
+	p.take() // opaque
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	p.opaques[name.text] = true
+	// Skip to the terminating semicolon.
+	for !p.atEOF() {
+		t := p.take()
+		if t.kind == tokSymbol && t.text == ";" {
+			return nil
+		}
+	}
+	return p.errAt(name, "unterminated opaque declaration")
+}
+
+func (p *parser) parseGateDef() error {
+	p.take() // gate
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	def := &gateDef{name: name.text}
+
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.take()
+		if !(p.peek().kind == tokSymbol && p.peek().text == ")") {
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				def.params = append(def.params, id.text)
+				if p.peek().kind == tokSymbol && p.peek().text == "," {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		def.qargs = append(def.qargs, id.text)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for !(p.peek().kind == tokSymbol && p.peek().text == "}") {
+		if p.atEOF() {
+			return p.errAt(name, "unterminated gate body for %q", name.text)
+		}
+		op, err := p.parseBodyOp(def)
+		if err != nil {
+			return err
+		}
+		def.body = append(def.body, op)
+	}
+	p.take() // }
+	if _, dup := p.gates[def.name]; dup {
+		return p.errAt(name, "gate %q redeclared", def.name)
+	}
+	p.gates[def.name] = def
+	return nil
+}
+
+// parseBodyOp parses one operation inside a gate definition body.
+func (p *parser) parseBodyOp(def *gateDef) (bodyOp, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return bodyOp{}, err
+	}
+	if t.text == "barrier" {
+		// Consume arguments up to ';'.
+		for !(p.peek().kind == tokSymbol && p.peek().text == ";") {
+			if p.atEOF() {
+				return bodyOp{}, p.errAt(t, "unterminated barrier")
+			}
+			p.take()
+		}
+		p.take() // ;
+		return bodyOp{barrier: true}, nil
+	}
+	op := bodyOp{name: t.text}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.take()
+		if !(p.peek().kind == tokSymbol && p.peek().text == ")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return bodyOp{}, err
+				}
+				op.params = append(op.params, e)
+				if p.peek().kind == tokSymbol && p.peek().text == "," {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return bodyOp{}, err
+		}
+	}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return bodyOp{}, err
+		}
+		valid := false
+		for _, q := range def.qargs {
+			if q == id.text {
+				valid = true
+			}
+		}
+		if !valid {
+			return bodyOp{}, p.errAt(id, "gate %q body references unknown qubit %q", def.name, id.text)
+		}
+		op.args = append(op.args, id.text)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return bodyOp{}, err
+	}
+	return op, nil
+}
+
+// qubitRef is a statement-level quantum argument: a whole register or
+// a single element.
+type qubitRef struct {
+	r       reg
+	index   int // -1 for whole register
+	tok     token
+	quantum bool
+}
+
+func (q qubitRef) size() int {
+	if q.index >= 0 {
+		return 1
+	}
+	return q.r.size
+}
+
+func (q qubitRef) at(i int) int {
+	if q.index >= 0 {
+		return q.r.offset + q.index
+	}
+	return q.r.offset + i
+}
+
+// parseArgument parses `name` or `name[idx]` against the declared
+// registers; quantum selects the namespace.
+func (p *parser) parseArgument(quantum bool) (qubitRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return qubitRef{}, err
+	}
+	var r reg
+	var ok bool
+	if quantum {
+		r, ok = p.qregs[name.text]
+	} else {
+		r, ok = p.cregs[name.text]
+	}
+	if !ok {
+		kind := "qreg"
+		if !quantum {
+			kind = "creg"
+		}
+		return qubitRef{}, p.errAt(name, "undeclared %s %q", kind, name.text)
+	}
+	ref := qubitRef{r: r, index: -1, tok: name, quantum: quantum}
+	if p.peek().kind == tokSymbol && p.peek().text == "[" {
+		p.take()
+		idx, err := p.expectInt()
+		if err != nil {
+			return qubitRef{}, err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return qubitRef{}, err
+		}
+		if idx < 0 || idx >= r.size {
+			return qubitRef{}, p.errAt(name, "index %d out of range for register %q[%d]", idx, name.text, r.size)
+		}
+		ref.index = idx
+	}
+	return ref, nil
+}
+
+func (p *parser) parseBarrier() error {
+	p.take() // barrier
+	for {
+		if _, err := p.parseArgument(true); err != nil {
+			return err
+		}
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	p.circ.Barrier()
+	return nil
+}
+
+func (p *parser) parseIf() error {
+	p.take() // if
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	creg, ok := p.cregs[name.text]
+	if !ok {
+		return p.errAt(name, "undeclared creg %q in if condition", name.text)
+	}
+	t := p.take()
+	if t.kind != tokEqEq {
+		return p.errAt(t, "expected '==', found %s", t)
+	}
+	val, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	bits := make([]int, creg.size)
+	for i := range bits {
+		bits[i] = creg.offset + i
+	}
+	cond := &circuit.Condition{Bits: bits, Value: uint64(val)}
+
+	t = p.peek()
+	if t.kind != tokIdent {
+		return p.errAt(t, "expected operation after if(...), found %s", t)
+	}
+	switch t.text {
+	case "measure":
+		return p.parseMeasure(cond)
+	case "reset":
+		return p.parseReset(cond)
+	default:
+		return p.parseGateCall(cond)
+	}
+}
+
+func (p *parser) parseMeasure(cond *circuit.Condition) error {
+	p.take() // measure
+	q, err := p.parseArgument(true)
+	if err != nil {
+		return err
+	}
+	t := p.take()
+	if t.kind != tokArrow {
+		return p.errAt(t, "expected '->', found %s", t)
+	}
+	c, err := p.parseArgument(false)
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if q.size() != c.size() {
+		return p.errAt(q.tok, "measure size mismatch: %d qubits vs %d classical bits", q.size(), c.size())
+	}
+	for i := 0; i < q.size(); i++ {
+		p.circ.Append(circuit.Op{Kind: circuit.KindMeasure, Target: q.at(i), Cbit: c.at(i), Cond: cond})
+	}
+	return nil
+}
+
+func (p *parser) parseReset(cond *circuit.Condition) error {
+	p.take() // reset
+	q, err := p.parseArgument(true)
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	for i := 0; i < q.size(); i++ {
+		p.circ.Append(circuit.Op{Kind: circuit.KindReset, Target: q.at(i), Cond: cond})
+	}
+	return nil
+}
+
+// parseGateCall parses a statement-level gate application, handling
+// register broadcast.
+func (p *parser) parseGateCall(cond *circuit.Condition) error {
+	name := p.take() // identifier, checked by caller
+	if p.opaques[name.text] {
+		return p.errAt(name, "opaque gate %q cannot be simulated", name.text)
+	}
+
+	var params []float64
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.take()
+		if !(p.peek().kind == tokSymbol && p.peek().text == ")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				v, err := e.eval(nil)
+				if err != nil {
+					return p.errAt(name, "parameter of %q: %v", name.text, err)
+				}
+				params = append(params, v)
+				if p.peek().kind == tokSymbol && p.peek().text == "," {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+
+	var args []qubitRef
+	for {
+		a, err := p.parseArgument(true)
+		if err != nil {
+			return err
+		}
+		args = append(args, a)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+
+	// Broadcast: all whole-register args must share one size.
+	bcast := 1
+	for _, a := range args {
+		if a.index < 0 {
+			if bcast == 1 {
+				bcast = a.r.size
+			} else if a.r.size != bcast {
+				return p.errAt(name, "register size mismatch in broadcast of %q", name.text)
+			}
+		}
+	}
+	for i := 0; i < bcast; i++ {
+		qubits := make([]int, len(args))
+		for j, a := range args {
+			qubits[j] = a.at(i)
+		}
+		if err := p.applyGate(name, name.text, params, qubits, cond, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxExpansionDepth guards against (disallowed but conceivable)
+// recursive gate definitions.
+const maxExpansionDepth = 64
+
+// applyGate resolves a gate name to native operations or expands a
+// user macro.
+func (p *parser) applyGate(at token, name string, params []float64, qubits []int, cond *circuit.Condition, depth int) error {
+	if depth > maxExpansionDepth {
+		return p.errAt(at, "gate expansion too deep at %q (recursive definition?)", name)
+	}
+	if def, ok := p.gates[name]; ok {
+		return p.expandUserGate(at, def, params, qubits, cond, depth)
+	}
+	spec, ok := nativeGates[name]
+	if !ok {
+		return p.errAt(at, "unknown gate %q (missing include \"qelib1.inc\" or gate definition?)", name)
+	}
+	if len(params) != spec.params {
+		return p.errAt(at, "gate %q: got %d parameters, want %d", name, len(params), spec.params)
+	}
+	if len(qubits) != spec.qubits {
+		return p.errAt(at, "gate %q: got %d qubits, want %d", name, len(qubits), spec.qubits)
+	}
+	for i := 0; i < len(qubits); i++ {
+		for j := i + 1; j < len(qubits); j++ {
+			if qubits[i] == qubits[j] {
+				return p.errAt(at, "gate %q: duplicate qubit argument", name)
+			}
+		}
+	}
+
+	emit := func(gateName string, target int, controls []circuit.Control, prm ...float64) {
+		p.circ.Append(circuit.Op{
+			Kind: circuit.KindGate, Name: gateName, Target: target,
+			Controls: controls, Params: prm, Cond: cond,
+		})
+	}
+	ctl := func(qs ...int) []circuit.Control {
+		cs := make([]circuit.Control, len(qs))
+		for i, q := range qs {
+			cs[i] = circuit.Control{Qubit: q}
+		}
+		return cs
+	}
+
+	switch name {
+	case "U", "u3", "u":
+		emit("u3", qubits[0], nil, params...)
+	case "u2":
+		emit("u2", qubits[0], nil, params...)
+	case "u1", "p":
+		emit("p", qubits[0], nil, params...)
+	case "u0":
+		emit("id", qubits[0], nil)
+	case "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz":
+		emit(name, qubits[0], nil, params...)
+	case "CX", "cx":
+		emit("x", qubits[1], ctl(qubits[0]))
+	case "cz":
+		emit("z", qubits[1], ctl(qubits[0]))
+	case "cy":
+		emit("y", qubits[1], ctl(qubits[0]))
+	case "ch":
+		emit("h", qubits[1], ctl(qubits[0]))
+	case "csx":
+		emit("sx", qubits[1], ctl(qubits[0]))
+	case "crx":
+		emit("rx", qubits[1], ctl(qubits[0]), params...)
+	case "cry":
+		emit("ry", qubits[1], ctl(qubits[0]), params...)
+	case "crz":
+		emit("rz", qubits[1], ctl(qubits[0]), params...)
+	case "cp", "cu1":
+		emit("p", qubits[1], ctl(qubits[0]), params...)
+	case "cu3":
+		emit("u3", qubits[1], ctl(qubits[0]), params...)
+	case "swap":
+		emit("x", qubits[1], ctl(qubits[0]))
+		emit("x", qubits[0], ctl(qubits[1]))
+		emit("x", qubits[1], ctl(qubits[0]))
+	case "ccx":
+		emit("x", qubits[2], ctl(qubits[0], qubits[1]))
+	case "cswap":
+		emit("x", qubits[1], ctl(qubits[2]))
+		emit("x", qubits[2], ctl(qubits[0], qubits[1]))
+		emit("x", qubits[1], ctl(qubits[2]))
+	case "rzz":
+		emit("x", qubits[1], ctl(qubits[0]))
+		emit("p", qubits[1], nil, params[0])
+		emit("x", qubits[1], ctl(qubits[0]))
+	case "rxx":
+		emit("h", qubits[0], nil)
+		emit("h", qubits[1], nil)
+		emit("x", qubits[1], ctl(qubits[0]))
+		emit("rz", qubits[1], nil, params[0])
+		emit("x", qubits[1], ctl(qubits[0]))
+		emit("h", qubits[0], nil)
+		emit("h", qubits[1], nil)
+	default:
+		return p.errAt(at, "native gate %q not implemented", name)
+	}
+	return nil
+}
+
+// expandUserGate inlines a user-defined gate macro.
+func (p *parser) expandUserGate(at token, def *gateDef, params []float64, qubits []int, cond *circuit.Condition, depth int) error {
+	if len(params) != len(def.params) {
+		return p.errAt(at, "gate %q: got %d parameters, want %d", def.name, len(params), len(def.params))
+	}
+	if len(qubits) != len(def.qargs) {
+		return p.errAt(at, "gate %q: got %d qubits, want %d", def.name, len(qubits), len(def.qargs))
+	}
+	env := make(map[string]float64, len(params))
+	for i, name := range def.params {
+		env[name] = params[i]
+	}
+	qmap := make(map[string]int, len(qubits))
+	for i, name := range def.qargs {
+		qmap[name] = qubits[i]
+	}
+	for _, op := range def.body {
+		if op.barrier {
+			continue
+		}
+		callParams := make([]float64, len(op.params))
+		for i, e := range op.params {
+			v, err := e.eval(env)
+			if err != nil {
+				return p.errAt(at, "in gate %q: %v", def.name, err)
+			}
+			callParams[i] = v
+		}
+		callQubits := make([]int, len(op.args))
+		for i, a := range op.args {
+			callQubits[i] = qmap[a]
+		}
+		if err := p.applyGate(at, op.name, callParams, callQubits, cond, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package qasm
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/statevec"
+)
+
+func mustParse(t *testing.T, src string) *circuit.Circuit {
+	t.Helper()
+	c, err := Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseMinimal(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+`)
+	if c.NumQubits != 2 || c.NumClbits != 2 {
+		t.Fatalf("sizes: %d qubits, %d clbits", c.NumQubits, c.NumClbits)
+	}
+	if len(c.Ops) != 4 { // h, cx, 2 measures (broadcast)
+		t.Fatalf("ops = %d: %+v", len(c.Ops), c.Ops)
+	}
+	if c.Ops[1].Name != "x" || c.Ops[1].Controls[0].Qubit != 0 || c.Ops[1].Target != 1 {
+		t.Errorf("cx parsed as %+v", c.Ops[1])
+	}
+	if c.Ops[2].Kind != circuit.KindMeasure || c.Ops[3].Kind != circuit.KindMeasure {
+		t.Error("broadcast measure missing")
+	}
+}
+
+func TestRegisterBroadcast(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q;
+`)
+	if len(c.Ops) != 3 {
+		t.Fatalf("broadcast h produced %d ops", len(c.Ops))
+	}
+	for i, op := range c.Ops {
+		if op.Name != "h" || op.Target != i {
+			t.Errorf("op %d = %+v", i, op)
+		}
+	}
+}
+
+func TestTwoRegisterBroadcast(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[2];
+cx a,b;
+cx a[0],b;
+`)
+	// cx a,b → cx a0,b0; cx a1,b1. cx a[0],b → cx a0,b0; cx a0,b1.
+	if len(c.Ops) != 4 {
+		t.Fatalf("ops = %d", len(c.Ops))
+	}
+	if c.Ops[0].Controls[0].Qubit != 0 || c.Ops[0].Target != 2 {
+		t.Errorf("op0 = %+v", c.Ops[0])
+	}
+	if c.Ops[1].Controls[0].Qubit != 1 || c.Ops[1].Target != 3 {
+		t.Errorf("op1 = %+v", c.Ops[1])
+	}
+	if c.Ops[3].Controls[0].Qubit != 0 || c.Ops[3].Target != 3 {
+		t.Errorf("op3 = %+v", c.Ops[3])
+	}
+}
+
+func TestBroadcastSizeMismatch(t *testing.T) {
+	_, err := Parse("t", `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[3];
+cx a,b;
+`)
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("size mismatch not caught: %v", err)
+	}
+}
+
+func TestGateDefinitionExpansion(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a,b { h a; cx a,b; }
+qreg q[2];
+bell q[0],q[1];
+`)
+	if len(c.Ops) != 2 {
+		t.Fatalf("ops = %d", len(c.Ops))
+	}
+	if c.Ops[0].Name != "h" || c.Ops[1].Name != "x" {
+		t.Errorf("expansion = %+v", c.Ops)
+	}
+}
+
+func TestParameterisedGateDef(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+gate wiggle(theta, phi) a { rx(theta/2) a; rz(phi+pi) a; }
+qreg q[1];
+wiggle(pi/4, 0.5) q[0];
+`)
+	if len(c.Ops) != 2 {
+		t.Fatalf("ops = %d", len(c.Ops))
+	}
+	if math.Abs(c.Ops[0].Params[0]-math.Pi/8) > 1e-15 {
+		t.Errorf("rx angle = %v, want pi/8", c.Ops[0].Params[0])
+	}
+	if math.Abs(c.Ops[1].Params[0]-(0.5+math.Pi)) > 1e-15 {
+		t.Errorf("rz angle = %v", c.Ops[1].Params[0])
+	}
+}
+
+func TestNestedGateDefs(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+gate layer a,b { h a; h b; }
+gate block a,b { layer a,b; cx a,b; layer b,a; }
+qreg q[2];
+block q[0],q[1];
+`)
+	if len(c.Ops) != 5 {
+		t.Fatalf("ops = %d", len(c.Ops))
+	}
+}
+
+func TestExpressionGrammar(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(2*pi/4 + 1.5 - -0.5) q[0];
+rx(sin(pi/2)) q[0];
+ry(2^3) q[0];
+rz(sqrt(4)*cos(0)) q[0];
+`)
+	want := []float64{math.Pi/2 + 2, 1, 8, 2}
+	for i, w := range want {
+		if math.Abs(c.Ops[i].Params[0]-w) > 1e-12 {
+			t.Errorf("expr %d = %v, want %v", i, c.Ops[i].Params[0], w)
+		}
+	}
+}
+
+func TestU3AndBuiltins(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+qreg q[2];
+U(0.1,0.2,0.3) q[0];
+CX q[0],q[1];
+`)
+	if c.Ops[0].Name != "u3" || len(c.Ops[0].Params) != 3 {
+		t.Errorf("U parsed as %+v", c.Ops[0])
+	}
+	if c.Ops[1].Name != "x" || len(c.Ops[1].Controls) != 1 {
+		t.Errorf("CX parsed as %+v", c.Ops[1])
+	}
+}
+
+func TestSwapAndCompositeNatives(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+swap q[0],q[1];
+ccx q[0],q[1],q[2];
+cswap q[0],q[1],q[2];
+rzz(0.5) q[0],q[1];
+`)
+	// swap→3, ccx→1, cswap→3, rzz→3
+	if len(c.Ops) != 10 {
+		t.Fatalf("ops = %d", len(c.Ops))
+	}
+}
+
+func TestIfCondition(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+measure q[0] -> c[0];
+if(c==2) x q[1];
+`)
+	var condOp *circuit.Op
+	for i := range c.Ops {
+		if c.Ops[i].Cond != nil {
+			condOp = &c.Ops[i]
+		}
+	}
+	if condOp == nil {
+		t.Fatal("no conditioned op")
+	}
+	if condOp.Cond.Value != 2 || len(condOp.Cond.Bits) != 2 {
+		t.Errorf("cond = %+v", condOp.Cond)
+	}
+}
+
+func TestResetAndBarrier(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+barrier q;
+reset q[0];
+reset q;
+`)
+	resets := 0
+	barriers := 0
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case circuit.KindReset:
+			resets++
+		case circuit.KindBarrier:
+			barriers++
+		}
+	}
+	if resets != 3 || barriers != 1 {
+		t.Errorf("resets=%d barriers=%d", resets, barriers)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	c := mustParse(t, `
+OPENQASM 2.0;
+// a line comment
+include "qelib1.inc"; /* block
+comment spanning lines */ qreg q[1];
+h q[0]; // trailing
+`)
+	if len(c.Ops) != 1 {
+		t.Fatalf("ops = %d", len(c.Ops))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing version":   "qreg q[1];",
+		"bad version":       "OPENQASM 3.0;\nqreg q[1];",
+		"undeclared reg":    "OPENQASM 2.0;\nh q[0];",
+		"unknown gate":      "OPENQASM 2.0;\nqreg q[1];\nfrob q[0];",
+		"index range":       "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[5];",
+		"redeclared":        "OPENQASM 2.0;\nqreg q[1];\nqreg q[2];",
+		"bad include":       "OPENQASM 2.0;\ninclude \"other.inc\";",
+		"param count":       "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrx q[0];",
+		"qubit count":       "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0];",
+		"duplicate qubit":   "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0],q[0];",
+		"unterminated str":  "OPENQASM 2.0;\ninclude \"qelib1",
+		"measure mismatch":  "OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\nmeasure q -> c;",
+		"unknown body ref":  "OPENQASM 2.0;\ngate g a { h b; }",
+		"stray equals":      "OPENQASM 2.0;\nqreg q[1];\nif (c = 1) h q[0];",
+		"divide by zero":    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrx(1/0) q[0];",
+		"opaque use":        "OPENQASM 2.0;\nopaque magic a;\nqreg q[1];\nmagic q[0];",
+		"too many qubits":   "OPENQASM 2.0;\nqreg q[80];",
+		"unterminated gate": "OPENQASM 2.0;\ngate g a { h a;",
+	}
+	for name, src := range cases {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("t", "OPENQASM 2.0;\nqreg q[1];\nfrob q[0];")
+	if err == nil || !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+// TestSemanticEquivalence: the parsed GHZ QASM must produce the same
+// state as the builder circuit.
+func TestSemanticEquivalence(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+`
+	parsed := mustParse(t, src)
+	built := circuit.GHZ(4)
+	sameState(t, parsed, built)
+}
+
+func sameState(t *testing.T, a, b *circuit.Circuit) {
+	t.Helper()
+	av := finalState(t, a)
+	bv := finalState(t, b)
+	for i := range av {
+		if cmplx.Abs(av[i]-bv[i]) > 1e-9 {
+			t.Fatalf("amplitude %d: %v vs %v", i, av[i], bv[i])
+		}
+	}
+}
+
+func finalState(t *testing.T, c *circuit.Circuit) []complex128 {
+	t.Helper()
+	b, err := statevec.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Ops {
+		if c.Ops[i].Kind == circuit.KindGate {
+			b.ApplyOp(i)
+		}
+	}
+	return b.Amplitudes()
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	circs := []*circuit.Circuit{
+		circuit.GHZ(4),
+		circuit.QFT(4),
+		circuit.QFTWithInput(3, 0b101),
+	}
+	for _, c := range circs {
+		src, err := Write(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		parsed, err := Parse(c.Name, src)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", c.Name, err, src)
+		}
+		sameState(t, c, parsed)
+	}
+}
+
+func TestWriteMeasureCondBarrier(t *testing.T) {
+	c := circuit.New("m", 2)
+	c.H(0).Barrier().Measure(0, 0)
+	c.Append(circuit.Op{Kind: circuit.KindGate, Name: "x", Target: 1,
+		Cond: &circuit.Condition{Bits: []int{0, 1}, Value: 1}})
+	src, err := Write(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"measure q[0] -> c[0];", "if(c==1) x q[1];", "barrier q;"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("output missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := Parse("m", src); err != nil {
+		t.Errorf("reparse: %v", err)
+	}
+}
+
+func TestWriteRejectsManyControls(t *testing.T) {
+	c := circuit.New("mcx", 4)
+	c.MCX([]int{0, 1, 2}, 3)
+	if _, err := Write(c); err == nil {
+		t.Error("3-control gate written without error")
+	}
+}
+
+func TestWriteRejectsNegativeControls(t *testing.T) {
+	c := circuit.New("neg", 2)
+	c.Append(circuit.Op{Kind: circuit.KindGate, Name: "x", Target: 1,
+		Controls: []circuit.Control{{Qubit: 0, Negative: true}}})
+	if _, err := Write(c); err == nil {
+		t.Error("negative control written without error")
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/file.qasm"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCU3MatchesControlledU3(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cu3(0.3,0.7,1.1) q[0],q[1];
+`
+	parsed := mustParse(t, src)
+	built := circuit.New("ref", 2)
+	built.H(0)
+	built.CGate("u3", 0, 1, 0.3, 0.7, 1.1)
+	sameState(t, parsed, built)
+}
+
+func TestDefaultClbits(t *testing.T) {
+	c := mustParse(t, "OPENQASM 2.0;\nqreg q[3];")
+	if c.NumClbits != 3 {
+		t.Errorf("default clbits = %d", c.NumClbits)
+	}
+}

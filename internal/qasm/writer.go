@@ -1,0 +1,101 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"ddsim/internal/circuit"
+)
+
+// Write renders a circuit as OpenQASM 2.0 source with a single
+// quantum register q and classical register c. It supports the gate
+// alphabet the parser produces, so Parse(Write(c)) round-trips.
+// Gates with more than two controls have no standard OpenQASM 2.0
+// spelling and are rejected.
+func Write(c *circuit.Circuit) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	fmt.Fprintf(&b, "creg c[%d];\n", c.NumClbits)
+
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Cond != nil {
+			// The writer produces one creg, so a condition must cover
+			// exactly its bits in order.
+			if !contiguousFromZero(op.Cond.Bits) {
+				return "", fmt.Errorf("qasm: op %d: condition on non-contiguous bits cannot be written", i)
+			}
+			fmt.Fprintf(&b, "if(c==%d) ", op.Cond.Value)
+		}
+		switch op.Kind {
+		case circuit.KindBarrier:
+			b.WriteString("barrier q;\n")
+		case circuit.KindMeasure:
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", op.Target, op.Cbit)
+		case circuit.KindReset:
+			fmt.Fprintf(&b, "reset q[%d];\n", op.Target)
+		case circuit.KindGate:
+			line, err := writeGate(op)
+			if err != nil {
+				return "", fmt.Errorf("qasm: op %d: %w", i, err)
+			}
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func contiguousFromZero(bits []int) bool {
+	for i, b := range bits {
+		if b != i {
+			return false
+		}
+	}
+	return true
+}
+
+// controlledName maps a base gate to its controlled qelib1 spelling.
+var controlledName = map[string]string{
+	"x": "cx", "y": "cy", "z": "cz", "h": "ch", "sx": "csx",
+	"rx": "crx", "ry": "cry", "rz": "crz", "p": "cp", "u1": "cp", "u3": "cu3",
+}
+
+func writeGate(op *circuit.Op) (string, error) {
+	for _, ctl := range op.Controls {
+		if ctl.Negative {
+			return "", fmt.Errorf("negative controls cannot be written as OpenQASM 2.0")
+		}
+	}
+	params := ""
+	if len(op.Params) > 0 {
+		parts := make([]string, len(op.Params))
+		for i, v := range op.Params {
+			parts[i] = fmt.Sprintf("%.17g", v)
+		}
+		params = "(" + strings.Join(parts, ",") + ")"
+	}
+	switch len(op.Controls) {
+	case 0:
+		return fmt.Sprintf("%s%s q[%d];", op.Name, params, op.Target), nil
+	case 1:
+		cname, ok := controlledName[op.Name]
+		if !ok {
+			return "", fmt.Errorf("no controlled spelling for gate %q", op.Name)
+		}
+		return fmt.Sprintf("%s%s q[%d],q[%d];", cname, params, op.Controls[0].Qubit, op.Target), nil
+	case 2:
+		if op.Name != "x" || params != "" {
+			return "", fmt.Errorf("no doubly-controlled spelling for gate %q", op.Name)
+		}
+		return fmt.Sprintf("ccx q[%d],q[%d],q[%d];",
+			op.Controls[0].Qubit, op.Controls[1].Qubit, op.Target), nil
+	default:
+		return "", fmt.Errorf("gate %q with %d controls cannot be written as OpenQASM 2.0", op.Name, len(op.Controls))
+	}
+}

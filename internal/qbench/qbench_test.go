@@ -1,0 +1,358 @@
+package qbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/ddback"
+	"ddsim/internal/noise"
+	"ddsim/internal/qasm"
+	"ddsim/internal/statevec"
+	"ddsim/internal/stochastic"
+)
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	benches := TableIc()
+	benches = append(benches, GHZ(24), QFT(12))
+	for _, b := range benches {
+		if err := b.Circuit.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Family == "" {
+			t.Errorf("%s: missing family documentation", b.Name)
+		}
+	}
+}
+
+func TestTableIcSizesMatchPaper(t *testing.T) {
+	want := map[string]int{
+		"basis_trotter_4": 4,
+		"vqe_uccsd_6":     6,
+		"vqe_uccsd_8":     8,
+		"ising_10":        10,
+		"seca_11":         11,
+		"sat_11":          11,
+		"multiplier_15":   15,
+		"bigadder_18":     18,
+		"cc_18":           18,
+		"bv_19":           19,
+	}
+	got := map[string]int{}
+	for _, b := range TableIc() {
+		got[b.Name] = b.Circuit.NumQubits
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("%s: %d qubits, want %d", name, got[name], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("TableIc has %d circuits, want %d", len(got), len(want))
+	}
+}
+
+// TestReversibleFamiliesStayBasisStates: the Table Ic win cases must
+// keep the DD tiny (basis state ⇒ exactly n nodes).
+func TestReversibleFamiliesStayBasisStates(t *testing.T) {
+	for _, b := range []Benchmark{Multiplier(15), BigAdder(18)} {
+		be, err := ddback.New(b.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b.Circuit.Ops {
+			if b.Circuit.Ops[i].Kind == circuit.KindGate {
+				be.ApplyOp(i)
+			}
+		}
+		n := b.Circuit.NumQubits
+		if got := be.NodeCount(); got != n {
+			t.Errorf("%s: final DD has %d nodes, want %d (basis state)", b.Name, got, n)
+		}
+		// A basis state has exactly one outcome with probability 1.
+		found := false
+		for idx := uint64(0); idx < 1<<uint(n); idx++ {
+			p := be.Probability(idx)
+			if math.Abs(p-1) < 1e-9 {
+				found = true
+				break
+			}
+			if n > 20 {
+				break // don't scan huge spaces
+			}
+		}
+		if n <= 20 && !found {
+			t.Errorf("%s: no certain outcome found", b.Name)
+		}
+	}
+}
+
+func TestMultiplierComputesProduct(t *testing.T) {
+	// 8 qubits → 2-bit operands: x = 0b11 (prep i%2==0 → bits 0,? of x…)
+	b := Multiplier(8)
+	be, err := ddback.New(b.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Circuit.Ops {
+		be.ApplyOp(i)
+	}
+	// Decode the final basis state.
+	var state uint64
+	n := b.Circuit.NumQubits
+	for idx := uint64(0); idx < 1<<uint(n); idx++ {
+		if be.Probability(idx) > 0.5 {
+			state = idx
+			break
+		}
+	}
+	// Extract registers: qubit q ↔ bit (n-1-q).
+	bitOf := func(q int) uint64 { return state >> uint(n-1-q) & 1 }
+	bits := 2
+	var x, y, prod uint64
+	for i := 0; i < bits; i++ {
+		x |= bitOf(i) << uint(i)
+		y |= bitOf(bits+i) << uint(i)
+	}
+	for i := 0; i < 2*bits; i++ {
+		prod |= bitOf(2*bits+i) << uint(i)
+	}
+	if prod != x*y {
+		t.Errorf("multiplier: %d×%d = %d, circuit computed %d", x, y, x*y, prod)
+	}
+}
+
+func TestBigAdderComputesSum(t *testing.T) {
+	b := BigAdder(7) // 2-bit adder
+	be, err := ddback.New(b.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Circuit.Ops {
+		be.ApplyOp(i)
+	}
+	var state uint64
+	n := b.Circuit.NumQubits
+	for idx := uint64(0); idx < 1<<uint(n); idx++ {
+		if be.Probability(idx) > 0.5 {
+			state = idx
+			break
+		}
+	}
+	bitOf := func(q int) uint64 { return state >> uint(n-1-q) & 1 }
+	bits := 2
+	var a, sum uint64
+	for i := 0; i < bits; i++ {
+		a |= bitOf(i) << uint(i)
+		sum |= bitOf(bits+i) << uint(i)
+	}
+	ovf := bitOf(3 * bits)
+	total := sum | ovf<<uint(bits)
+	// Inputs: a = bits where i%3!=1 → a=0b01=1; b = i%2==1 → 0b10=2.
+	wantA, wantB := uint64(0b01), uint64(0b10)
+	if a != wantA {
+		t.Fatalf("adder: a register = %d, want %d", a, wantA)
+	}
+	if total != wantA+wantB {
+		t.Errorf("adder: %d+%d = %d, circuit computed %d", wantA, wantB, wantA+wantB, total)
+	}
+}
+
+func TestSATFindsAssignment(t *testing.T) {
+	b := SAT(11)
+	be, err := ddback.New(b.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Circuit.Ops {
+		be.ApplyOp(i)
+	}
+	// The marked assignment 0b101 on the problem register must carry
+	// amplified probability mass: marginal over problem qubits.
+	// Problem register size for n=11: m qubits starting at 0.
+	// Compute P(problem == 0b101) by summing basis probabilities.
+	n := b.Circuit.NumQubits
+	// Recover m from the layout: m is the largest count with enough ancillas.
+	m := (n - 1 + 2) / 2
+	anc := n - 1 - m
+	for anc < m-2 {
+		m--
+		anc = n - 1 - m
+	}
+	pMarked := 0.0
+	for idx := uint64(0); idx < 1<<uint(n); idx++ {
+		var prob uint64
+		for i := 0; i < m; i++ {
+			prob |= (idx >> uint(n-1-i) & 1) << uint(i)
+		}
+		if prob == 0b101 {
+			pMarked += be.Probability(idx)
+		}
+	}
+	uniform := 1 / float64(uint(1)<<uint(m))
+	if pMarked < 5*uniform {
+		t.Errorf("Grover amplification failed: P(marked) = %v, uniform = %v", pMarked, uniform)
+	}
+}
+
+// TestDDCompactnessPattern asserts the paper's Table Ic win/loss
+// mechanism: reversible-arithmetic circuits keep DDs linear while
+// ising/uccsd-style circuits saturate them.
+func TestDDCompactnessPattern(t *testing.T) {
+	nodeCount := func(b Benchmark) int {
+		be, err := ddback.New(b.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b.Circuit.Ops {
+			if b.Circuit.Ops[i].Kind == circuit.KindGate {
+				be.ApplyOp(i)
+			}
+		}
+		return be.NodeCount()
+	}
+	if n := nodeCount(BV(10)); n > 10 {
+		t.Errorf("bv_10 final DD = %d nodes, want ≤ 10", n)
+	}
+	dense := nodeCount(Ising(10, 30))
+	if dense < 200 { // 2^10 − 1 = 1023 max; generic states come close
+		t.Errorf("ising_10 final DD = %d nodes, expected dense (>200)", dense)
+	}
+	uccsd := nodeCount(VQEUCCSD(8, 20))
+	if uccsd < 100 {
+		t.Errorf("vqe_uccsd_8 final DD = %d nodes, expected dense (>100)", uccsd)
+	}
+	cc := nodeCount(CC(10))
+	if cc < 100 {
+		t.Errorf("cc_10 final DD = %d nodes, expected dense (>100)", cc)
+	}
+}
+
+// TestQASMEmissionRoundTrip: every Table Ic circuit that fits the
+// OpenQASM 2.0 alphabet must survive a write→parse round trip with
+// identical structure.
+func TestQASMEmissionRoundTrip(t *testing.T) {
+	for _, b := range TableIc() {
+		src, err := qasm.Write(b.Circuit)
+		if err != nil {
+			// Circuits with >2-control gates have no OpenQASM spelling.
+			if strings.Contains(err.Error(), "controls") {
+				continue
+			}
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		parsed, err := qasm.Parse(b.Name, src)
+		if err != nil {
+			t.Errorf("%s: reparse failed: %v", b.Name, err)
+			continue
+		}
+		if parsed.NumQubits != b.Circuit.NumQubits {
+			t.Errorf("%s: qubit count changed in round trip", b.Name)
+		}
+		if parsed.GateCount() != b.Circuit.GateCount() {
+			t.Errorf("%s: gate count %d → %d in round trip", b.Name,
+				b.Circuit.GateCount(), parsed.GateCount())
+		}
+	}
+}
+
+func TestRunnerScalableSkipsAfterTimeout(t *testing.T) {
+	r := &Runner{
+		Backends: []NamedFactory{
+			{Name: "dd", Factory: ddback.Factory()},
+			{Name: "statevec", Factory: statevec.Factory()},
+		},
+		Model:  noise.PaperDefaults(),
+		Runs:   20,
+		Budget: 300 * time.Millisecond,
+		Seed:   1,
+	}
+	// Statevector hits its compile-time limit beyond MaxQubits → error
+	// cell → skip for larger n.
+	tab := r.RunScalable("test", []int{4, statevec.MaxQubits + 1, statevec.MaxQubits + 2},
+		func(n int) Benchmark { return GHZ(n) })
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Cells[1].Status != CellOK {
+		t.Errorf("small statevec cell = %+v", tab.Rows[0].Cells[1])
+	}
+	if tab.Rows[1].Cells[1].Status != CellError {
+		t.Errorf("oversized statevec cell = %+v", tab.Rows[1].Cells[1])
+	}
+	if tab.Rows[2].Cells[1].Status != CellSkipped {
+		t.Errorf("following statevec cell = %+v", tab.Rows[2].Cells[1])
+	}
+	if tab.Rows[2].Cells[0].Status != CellOK {
+		t.Errorf("dd cell should still run: %+v", tab.Rows[2].Cells[0])
+	}
+	out := tab.Format()
+	for _, want := range []string{"dd [s]", "statevec [s]", "n/a", ">budget*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunnerFixed(t *testing.T) {
+	r := &Runner{
+		Backends: []NamedFactory{{Name: "dd", Factory: ddback.Factory()}},
+		Model:    noise.Model{},
+		Runs:     5,
+		Budget:   2 * time.Second,
+		Seed:     1,
+	}
+	tab := r.RunFixed("fixed", []Benchmark{BV(6), SECA(11)})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row.Cells[0].Status != CellOK {
+			t.Errorf("%s: %+v", row.Label, row.Cells[0])
+		}
+	}
+}
+
+func TestSpeedupVsFirst(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"dd", "other"},
+		Rows: []Row{
+			{Label: "a", Cells: []Cell{
+				{Status: CellOK, Elapsed: time.Second},
+				{Status: CellOK, Elapsed: 10 * time.Second},
+			}},
+			{Label: "b", Cells: []Cell{
+				{Status: CellOK, Elapsed: time.Second},
+				{Status: CellTimeout},
+			}},
+		},
+	}
+	s := tab.SpeedupVsFirst(1)
+	if s[0] != 10 {
+		t.Errorf("speedup[0] = %v", s[0])
+	}
+	if !math.IsInf(s[1], 1) {
+		t.Errorf("speedup[1] = %v, want +Inf", s[1])
+	}
+}
+
+// TestGHZStochasticStaysFast is the heart of Table Ia: a noisy
+// stochastic GHZ simulation at a qubit count far beyond any dense
+// representation (2^48 amplitudes) must complete in a trice on the DD
+// backend.
+func TestGHZStochasticStaysFast(t *testing.T) {
+	res, err := stochastic.Run(circuit.GHZ(48), ddback.Factory(), noise.PaperDefaults(),
+		stochastic.Options{Runs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 10 {
+		t.Errorf("runs = %d", res.Runs)
+	}
+	if res.Elapsed > 30*time.Second {
+		t.Errorf("GHZ(48) with 10 noisy runs took %s", res.Elapsed)
+	}
+}

@@ -1,0 +1,232 @@
+package qbench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"ddsim/internal/noise"
+	"ddsim/internal/sim"
+	"ddsim/internal/stochastic"
+)
+
+// DefaultBudget is the default per-cell time budget used by the
+// regeneration tooling — the scaled-down analogue of the paper's
+// 1-hour timeout.
+const DefaultBudget = 5 * time.Second
+
+// CellStatus classifies one table cell.
+type CellStatus int
+
+// The cell states, mirroring the paper's table annotations.
+const (
+	CellOK      CellStatus = iota // completed within budget
+	CellTimeout                   // exceeded the budget (">3600" in the paper)
+	CellSkipped                   // skipped: a smaller size already timed out
+	CellError                     // backend cannot run the workload (cf. QLM and OpenQASM)
+)
+
+// Cell is one (workload, simulator) measurement.
+type Cell struct {
+	Status  CellStatus
+	Elapsed time.Duration
+	Err     string
+}
+
+// String renders the cell the way Table I does.
+func (c Cell) String() string {
+	switch c.Status {
+	case CellOK:
+		return fmt.Sprintf("%.2f", c.Elapsed.Seconds())
+	case CellTimeout:
+		return ">budget"
+	case CellSkipped:
+		return ">budget*"
+	default:
+		return "n/a"
+	}
+}
+
+// Row is one workload's measurements across all simulators.
+type Row struct {
+	Label string
+	N     int
+	Cells []Cell
+}
+
+// Table is a full reproduction of one of the paper's tables.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// NamedFactory pairs a simulator label with its backend factory.
+type NamedFactory struct {
+	Name    string
+	Factory sim.Factory
+}
+
+// Runner drives table regeneration. The per-cell Budget plays the
+// role of the paper's 1-hour timeout (scaled to interactive budgets),
+// and Runs scales the paper's M = 30000 down to something a laptop
+// regenerates in minutes while preserving every between-simulator
+// runtime ratio (all simulators pay the same factor M).
+type Runner struct {
+	Backends []NamedFactory
+	Model    noise.Model
+	Runs     int
+	Budget   time.Duration
+	Workers  int
+	Seed     int64
+	// Verbose, when set, receives progress lines.
+	Verbose func(format string, args ...interface{})
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Verbose != nil {
+		r.Verbose(format, args...)
+	}
+}
+
+// columns returns the simulator labels.
+func (r *Runner) columns() []string {
+	cols := make([]string, len(r.Backends))
+	for i, b := range r.Backends {
+		cols[i] = b.Name
+	}
+	return cols
+}
+
+// measure runs one cell.
+func (r *Runner) measure(b Benchmark, f sim.Factory) Cell {
+	res, err := stochastic.Run(b.Circuit, f, r.Model, stochastic.Options{
+		Runs:    r.Runs,
+		Workers: r.Workers,
+		Seed:    r.Seed,
+		Timeout: r.Budget,
+	})
+	if err != nil {
+		return Cell{Status: CellError, Err: err.Error()}
+	}
+	if res.TimedOut {
+		return Cell{Status: CellTimeout, Elapsed: res.Elapsed}
+	}
+	return Cell{Status: CellOK, Elapsed: res.Elapsed}
+}
+
+// RunScalable reproduces a Table Ia/Ib-style sweep: one circuit
+// family at increasing sizes. Once a simulator times out (or errors)
+// at some size, larger sizes are skipped for it and reported as
+// ">budget*", exactly as the paper's tables propagate ">3600".
+func (r *Runner) RunScalable(title string, sizes []int, gen func(n int) Benchmark) *Table {
+	t := &Table{Title: title, Columns: r.columns()}
+	dead := make([]bool, len(r.Backends))
+	for _, n := range sizes {
+		b := gen(n)
+		row := Row{Label: b.Name, N: n, Cells: make([]Cell, len(r.Backends))}
+		for i, nf := range r.Backends {
+			if dead[i] {
+				row.Cells[i] = Cell{Status: CellSkipped}
+				continue
+			}
+			r.logf("%s: n=%d %s", title, n, nf.Name)
+			cell := r.measure(b, nf.Factory)
+			if cell.Status == CellTimeout || cell.Status == CellError {
+				dead[i] = true
+			}
+			row.Cells[i] = cell
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// RunFixed reproduces a Table Ic-style list of independent workloads.
+func (r *Runner) RunFixed(title string, benches []Benchmark) *Table {
+	t := &Table{Title: title, Columns: r.columns()}
+	for _, b := range benches {
+		row := Row{Label: b.Name, N: b.Circuit.NumQubits, Cells: make([]Cell, len(r.Backends))}
+		for i, nf := range r.Backends {
+			r.logf("%s: %s %s", title, b.Name, nf.Name)
+			row.Cells[i] = r.measure(b, nf.Factory)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Format renders the table as aligned text, in the layout of Table I:
+// one row per workload, one runtime column per simulator (seconds).
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns)+2)
+	widths[0] = len("name")
+	widths[1] = len("n")
+	for i, c := range t.Columns {
+		widths[i+2] = len(c + " [s]")
+	}
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		if w := len(fmt.Sprint(r.N)); w > widths[1] {
+			widths[1] = w
+		}
+		for i, c := range r.Cells {
+			if w := len(c.String()); w > widths[i+2] {
+				widths[i+2] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	header := []string{"name", "n"}
+	for _, c := range t.Columns {
+		header = append(header, c+" [s]")
+	}
+	line(header)
+	for _, r := range t.Rows {
+		cells := []string{r.Label, fmt.Sprint(r.N)}
+		for _, c := range r.Cells {
+			cells = append(cells, c.String())
+		}
+		line(cells)
+	}
+	b.WriteString("(>budget: exceeded the per-cell time budget; >budget*: skipped, smaller size already exceeded it; n/a: workload not runnable on this simulator)\n")
+	return b.String()
+}
+
+// SpeedupVsFirst returns, for each row, the ratio of column j's
+// runtime to column 0's runtime (how much slower backend j is than
+// the first/reference backend). Cells that did not complete yield
+// +Inf. Used by EXPERIMENTS.md generation and by tests asserting the
+// paper's win/loss pattern.
+func (t *Table) SpeedupVsFirst(j int) []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		ref := r.Cells[0]
+		other := r.Cells[j]
+		if ref.Status != CellOK {
+			out[i] = 0
+			continue
+		}
+		if other.Status != CellOK {
+			out[i] = inf()
+			continue
+		}
+		out[i] = other.Elapsed.Seconds() / ref.Elapsed.Seconds()
+	}
+	return out
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,113 @@
+// Package sim defines the contract between simulation backends (the
+// decision-diagram engine of the paper and the two state-of-the-art
+// baselines it is compared against) and the stochastic Monte-Carlo
+// driver. A Backend holds one evolving quantum state; the driver owns
+// all randomness, classical bits and noise-model logic, so every
+// backend sees exactly the same stream of operations and the backends
+// stay interchangeable in benchmarks.
+package sim
+
+import (
+	"math/rand"
+
+	"ddsim/internal/circuit"
+)
+
+// Pauli selects one of the four Pauli operators used by the
+// depolarising and phase-flip channels.
+type Pauli int
+
+// The Pauli operators.
+const (
+	PauliI Pauli = iota
+	PauliX
+	PauliY
+	PauliZ
+)
+
+// String names the Pauli operator.
+func (p Pauli) String() string {
+	switch p {
+	case PauliI:
+		return "I"
+	case PauliX:
+		return "X"
+	case PauliY:
+		return "Y"
+	case PauliZ:
+		return "Z"
+	default:
+		return "?"
+	}
+}
+
+// Backend is one simulation engine instance, pre-compiled for a fixed
+// circuit. Backends are stateful and NOT safe for concurrent use: the
+// stochastic driver creates one backend per worker, realising the
+// paper's "concurrency across runs" design.
+type Backend interface {
+	// Name identifies the engine ("dd", "statevec", "sparse").
+	Name() string
+
+	// NumQubits returns the register size.
+	NumQubits() int
+
+	// Reset restores the state to |0…0⟩ (start of a simulation run).
+	Reset()
+
+	// ApplyOp applies operation index i of the compiled circuit.
+	// The operation is guaranteed to be a unitary gate.
+	ApplyOp(i int)
+
+	// ApplyPauli applies a Pauli operator to one qubit (noise event).
+	ApplyPauli(p Pauli, qubit int)
+
+	// ProbOne returns the probability that the given qubit measures 1.
+	ProbOne(qubit int) float64
+
+	// Collapse projects the qubit onto the given outcome and
+	// renormalises; prob is the outcome probability, precomputed by
+	// the caller from ProbOne, and must be positive.
+	Collapse(qubit, outcome int, prob float64)
+
+	// ApplyDamping applies one branch of the amplitude-damping channel
+	// with damping parameter p to the qubit: the decay operator
+	// A0 = [[0,√p],[0,0]] when fire is true, otherwise
+	// A1 = [[1,0],[0,√(1−p)]]; the state is renormalised by the
+	// precomputed branch probability branchProb (must be positive).
+	ApplyDamping(qubit int, p float64, fire bool, branchProb float64)
+
+	// SampleBasis draws one basis-state index from the current state.
+	SampleBasis(rng *rand.Rand) uint64
+
+	// Probability returns |⟨idx|ψ⟩|² for a basis state.
+	Probability(idx uint64) float64
+
+	// Norm2 returns ⟨ψ|ψ⟩ (diagnostics; should stay 1).
+	Norm2() float64
+}
+
+// Snapshotter is an optional backend capability: capturing the current
+// state and later computing the fidelity |⟨snapshot|ψ⟩|² against it.
+// The stochastic driver uses it to estimate the paper's flagship
+// quadratic property — fidelity with the noise-free output state.
+type Snapshotter interface {
+	// Snapshot captures the current state. The returned handle stays
+	// valid for the backend's lifetime.
+	Snapshot() Snapshot
+	// FidelityTo returns |⟨snapshot|current⟩|².
+	FidelityTo(s Snapshot) float64
+}
+
+// Snapshot is an opaque captured state.
+type Snapshot interface{}
+
+// Factory creates fresh backend instances compiled for a circuit.
+// The stochastic driver calls it once per worker.
+type Factory func(c *circuit.Circuit) (Backend, error)
+
+// ResolveOp extracts the 2×2 matrix of a gate operation. Shared by
+// backend compilers.
+func ResolveOp(op *circuit.Op) (circuit.Mat2, error) {
+	return circuit.GateMatrix(op.Name, op.Params)
+}

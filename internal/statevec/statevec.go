@@ -1,0 +1,232 @@
+// Package statevec implements the dense state-vector baseline: a
+// 2^n-element amplitude array with per-gate bit-twiddling update
+// kernels. This is the algorithm class of IBM Qiskit's statevector
+// simulator (reference [12] of the paper), against which the proposed
+// DD simulator is compared in Tables Ia–Ic. Its per-gate cost is
+// Θ(2^n) regardless of state structure — the "curse of
+// dimensionality" the paper's Section III describes.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/sim"
+)
+
+// MaxQubits bounds the register size: 2^26 amplitudes (1 GiB) is the
+// largest state this baseline will allocate.
+const MaxQubits = 26
+
+type compiledGate struct {
+	u        circuit.Mat2
+	bit      uint // target bit position (n-1-qubit)
+	ctrlMask uint64
+	ctrlWant uint64
+}
+
+// Backend is the dense state-vector simulation backend.
+type Backend struct {
+	n     int
+	v     []complex128
+	circ  *circuit.Circuit
+	gates []compiledGate
+}
+
+// New compiles the circuit and allocates the amplitude array.
+func New(c *circuit.Circuit) (*Backend, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits > MaxQubits {
+		return nil, fmt.Errorf("statevec: %d qubits exceeds the %d-qubit memory limit", c.NumQubits, MaxQubits)
+	}
+	b := &Backend{
+		n:     c.NumQubits,
+		v:     make([]complex128, 1<<uint(c.NumQubits)),
+		circ:  c,
+		gates: make([]compiledGate, len(c.Ops)),
+	}
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Kind != circuit.KindGate {
+			continue
+		}
+		u, err := sim.ResolveOp(op)
+		if err != nil {
+			return nil, fmt.Errorf("statevec: op %d: %w", i, err)
+		}
+		g := compiledGate{u: u, bit: b.bitOf(op.Target)}
+		for _, ctl := range op.Controls {
+			m := uint64(1) << b.bitOf(ctl.Qubit)
+			g.ctrlMask |= m
+			if !ctl.Negative {
+				g.ctrlWant |= m
+			}
+		}
+		b.gates[i] = g
+	}
+	b.Reset()
+	return b, nil
+}
+
+// Factory returns a sim.Factory creating state-vector backends.
+func Factory() sim.Factory {
+	return func(c *circuit.Circuit) (sim.Backend, error) { return New(c) }
+}
+
+// bitOf maps qubit index (0 = most significant) to its bit position in
+// basis-state indices, matching the DD engine's convention.
+func (b *Backend) bitOf(q int) uint { return uint(b.n - 1 - q) }
+
+// Name implements sim.Backend.
+func (b *Backend) Name() string { return "statevec" }
+
+// NumQubits implements sim.Backend.
+func (b *Backend) NumQubits() int { return b.n }
+
+// Reset implements sim.Backend.
+func (b *Backend) Reset() {
+	for i := range b.v {
+		b.v[i] = 0
+	}
+	b.v[0] = 1
+}
+
+// ApplyOp implements sim.Backend.
+func (b *Backend) ApplyOp(i int) {
+	b.applyCompiled(&b.gates[i])
+}
+
+func (b *Backend) applyCompiled(g *compiledGate) {
+	b.applyKernel(g.u, g.bit, g.ctrlMask, g.ctrlWant)
+}
+
+// applyKernel performs the in-place 2×2 update on all amplitude pairs
+// selected by the target bit and control condition.
+func (b *Backend) applyKernel(u circuit.Mat2, bit uint, ctrlMask, ctrlWant uint64) {
+	stride := uint64(1) << bit
+	dim := uint64(len(b.v))
+	u00, u01, u10, u11 := u[0][0], u[0][1], u[1][0], u[1][1]
+	for base := uint64(0); base < dim; base += 2 * stride {
+		for i := base; i < base+stride; i++ {
+			if i&ctrlMask != ctrlWant {
+				continue
+			}
+			a0 := b.v[i]
+			a1 := b.v[i|stride]
+			b.v[i] = u00*a0 + u01*a1
+			b.v[i|stride] = u10*a0 + u11*a1
+		}
+	}
+}
+
+// ApplyPauli implements sim.Backend.
+func (b *Backend) ApplyPauli(p sim.Pauli, qubit int) {
+	switch p {
+	case sim.PauliI:
+	case sim.PauliX:
+		b.applyKernel(circuit.MatX, b.bitOf(qubit), 0, 0)
+	case sim.PauliY:
+		b.applyKernel(circuit.MatY, b.bitOf(qubit), 0, 0)
+	case sim.PauliZ:
+		b.applyKernel(circuit.MatZ, b.bitOf(qubit), 0, 0)
+	}
+}
+
+// ProbOne implements sim.Backend.
+func (b *Backend) ProbOne(qubit int) float64 {
+	mask := uint64(1) << b.bitOf(qubit)
+	sum := 0.0
+	for i, a := range b.v {
+		if uint64(i)&mask != 0 {
+			sum += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return sum
+}
+
+// Collapse implements sim.Backend.
+func (b *Backend) Collapse(qubit, outcome int, prob float64) {
+	if prob <= 0 {
+		panic("statevec: Collapse with non-positive probability")
+	}
+	mask := uint64(1) << b.bitOf(qubit)
+	keepSet := outcome == 1
+	s := complex(1/math.Sqrt(prob), 0)
+	for i := range b.v {
+		if (uint64(i)&mask != 0) == keepSet {
+			b.v[i] *= s
+		} else {
+			b.v[i] = 0
+		}
+	}
+}
+
+// ApplyDamping implements sim.Backend.
+func (b *Backend) ApplyDamping(qubit int, p float64, fire bool, branchProb float64) {
+	if branchProb <= 0 {
+		panic("statevec: ApplyDamping with non-positive branch probability")
+	}
+	var k circuit.Mat2
+	if fire {
+		k = circuit.Mat2{{0, complex(math.Sqrt(p), 0)}, {0, 0}}
+	} else {
+		k = circuit.Mat2{{1, 0}, {0, complex(math.Sqrt(1-p), 0)}}
+	}
+	b.applyKernel(k, b.bitOf(qubit), 0, 0)
+	s := complex(1/math.Sqrt(branchProb), 0)
+	for i := range b.v {
+		b.v[i] *= s
+	}
+}
+
+// SampleBasis implements sim.Backend.
+func (b *Backend) SampleBasis(rng *rand.Rand) uint64 {
+	r := rng.Float64()
+	acc := 0.0
+	for i, a := range b.v {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if r < acc {
+			return uint64(i)
+		}
+	}
+	return uint64(len(b.v) - 1)
+}
+
+// Probability implements sim.Backend.
+func (b *Backend) Probability(idx uint64) float64 {
+	a := b.v[idx]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Norm2 implements sim.Backend.
+func (b *Backend) Norm2() float64 {
+	sum := 0.0
+	for _, a := range b.v {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return sum
+}
+
+// Amplitudes returns a copy of the state vector (tests and examples).
+func (b *Backend) Amplitudes() []complex128 {
+	out := make([]complex128, len(b.v))
+	copy(out, b.v)
+	return out
+}
+
+// Snapshot implements sim.Snapshotter by copying the amplitude array.
+func (b *Backend) Snapshot() sim.Snapshot { return b.Amplitudes() }
+
+// FidelityTo implements sim.Snapshotter: |⟨snapshot|ψ⟩|².
+func (b *Backend) FidelityTo(s sim.Snapshot) float64 {
+	ref := s.([]complex128)
+	var dot complex128
+	for i, a := range b.v {
+		dot += complex(real(ref[i]), -imag(ref[i])) * a
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}

@@ -1,0 +1,346 @@
+// Package stochastic implements the Monte-Carlo simulation driver of
+// the paper's Section III and the concurrency scheme of Section IV-C:
+// M independent noisy simulation runs are distributed across worker
+// goroutines, each worker owning a private backend instance (for the
+// DD backend: a private decision-diagram package), so runs never
+// contend on shared mutable state. Empirical averages over the runs
+// estimate quadratic properties of the output ensemble.
+package stochastic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/noise"
+	"ddsim/internal/sim"
+)
+
+// Options configures a stochastic simulation.
+type Options struct {
+	// Runs is the number of independent trajectories M (paper: 30000).
+	Runs int
+	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the whole simulation deterministic: run j uses an RNG
+	// seeded with Seed+j regardless of which worker executes it.
+	Seed int64
+	// Shots is the number of basis-state samples drawn from each final
+	// state (default 1).
+	Shots int
+	// TrackStates lists basis states |ω_l⟩ whose outcome probabilities
+	// are estimated as empirical averages (the paper's ô_l).
+	TrackStates []uint64
+	// TrackFidelity additionally estimates the fidelity of each noisy
+	// final state with the noise-free final state — the paper's other
+	// flagship quadratic property. Requires a backend implementing
+	// sim.Snapshotter (all bundled backends except the sparse one do).
+	TrackFidelity bool
+	// Timeout, when positive, stops issuing new runs once exceeded.
+	// Completed runs still aggregate; Result.TimedOut is set.
+	Timeout time.Duration
+}
+
+func (o *Options) normalize() {
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Runs {
+		o.Workers = o.Runs
+	}
+	if o.Shots <= 0 {
+		o.Shots = 1
+	}
+}
+
+// Result aggregates a stochastic simulation.
+type Result struct {
+	// Runs is the number of completed trajectories.
+	Runs int
+	// Counts histograms the sampled final-state basis outcomes
+	// (Runs × Shots samples in total).
+	Counts map[uint64]int
+	// ClassicalCounts histograms the classical register after each
+	// run, for circuits containing explicit measurements.
+	ClassicalCounts map[uint64]int
+	// TrackedProbs[i] is the Monte-Carlo estimate ô_l for
+	// Options.TrackStates[i].
+	TrackedProbs []float64
+	// MeanFidelity is the estimated fidelity with the noise-free final
+	// state (only meaningful when Options.TrackFidelity was set).
+	MeanFidelity float64
+	// Elapsed is the wall-clock simulation time.
+	Elapsed time.Duration
+	// TimedOut reports whether the run budget was exhausted before all
+	// M trajectories completed.
+	TimedOut bool
+	// Workers echoes the worker count used.
+	Workers int
+}
+
+// SampleFraction returns the fraction of samples that landed on idx.
+func (r *Result) SampleFraction(idx uint64) float64 {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Counts[idx]) / float64(total)
+}
+
+type accumulator struct {
+	counts    map[uint64]int
+	classical map[uint64]int
+	tracked   []float64
+	fidelity  float64
+	runs      int
+}
+
+func newAccumulator(tracked int) *accumulator {
+	return &accumulator{
+		counts:    make(map[uint64]int),
+		classical: make(map[uint64]int),
+		tracked:   make([]float64, tracked),
+	}
+}
+
+func (a *accumulator) merge(b *accumulator) {
+	for k, v := range b.counts {
+		a.counts[k] += v
+	}
+	for k, v := range b.classical {
+		a.classical[k] += v
+	}
+	for i := range b.tracked {
+		a.tracked[i] += b.tracked[i]
+	}
+	a.fidelity += b.fidelity
+	a.runs += b.runs
+}
+
+// Run executes the stochastic simulation of circuit c on backends
+// produced by factory, with the given noise model.
+func Run(c *circuit.Circuit, factory sim.Factory, model noise.Model, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	opts.normalize()
+
+	start := time.Now()
+	var next atomic.Int64
+	var timedOut, failed atomic.Bool
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	accs := make([]*accumulator, opts.Workers)
+	errs := make([]error, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := newAccumulator(len(opts.TrackStates))
+			accs[w] = acc
+			backend, err := factory(c)
+			if err != nil {
+				errs[w] = err
+				failed.Store(true) // stop siblings from spinning
+				return
+			}
+			hasMeasure := circuitMeasures(c)
+			clbits := make([]uint64, 1)
+			var snapper sim.Snapshotter
+			var ref sim.Snapshot
+			if opts.TrackFidelity {
+				s, ok := backend.(sim.Snapshotter)
+				if !ok {
+					errs[w] = fmt.Errorf("stochastic: backend %q cannot track fidelity", backend.Name())
+					failed.Store(true)
+					return
+				}
+				// Reference trajectory: same circuit, no noise, fixed
+				// seed so every worker derives the identical state.
+				runOne(backend, c, noise.Model{}, rand.New(rand.NewSource(opts.Seed)), clbits)
+				ref = s.Snapshot()
+				snapper = s
+			}
+			for {
+				if failed.Load() {
+					return
+				}
+				j := next.Add(1) - 1
+				if j >= int64(opts.Runs) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					timedOut.Store(true)
+					return
+				}
+				rng := rand.New(rand.NewSource(opts.Seed + j))
+				runOne(backend, c, model, rng, clbits)
+				acc.runs++
+				for s := 0; s < opts.Shots; s++ {
+					acc.counts[backend.SampleBasis(rng)]++
+				}
+				if hasMeasure {
+					acc.classical[clbits[0]]++
+				}
+				for i, idx := range opts.TrackStates {
+					acc.tracked[i] += backend.Probability(idx)
+				}
+				if snapper != nil {
+					acc.fidelity += snapper.FidelityTo(ref)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := anyErr(errs); err != nil {
+		return nil, err
+	}
+
+	total := newAccumulator(len(opts.TrackStates))
+	for _, acc := range accs {
+		if acc != nil {
+			total.merge(acc)
+		}
+	}
+	if total.runs == 0 {
+		return nil, errors.New("stochastic: no runs completed within the budget")
+	}
+	res := &Result{
+		Runs:            total.runs,
+		Counts:          total.counts,
+		ClassicalCounts: total.classical,
+		TrackedProbs:    total.tracked,
+		Elapsed:         time.Since(start),
+		TimedOut:        timedOut.Load(),
+		Workers:         opts.Workers,
+	}
+	for i := range res.TrackedProbs {
+		res.TrackedProbs[i] /= float64(total.runs)
+	}
+	if opts.TrackFidelity {
+		res.MeanFidelity = total.fidelity / float64(total.runs)
+	}
+	return res, nil
+}
+
+func anyErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func circuitMeasures(c *circuit.Circuit) bool {
+	for i := range c.Ops {
+		if c.Ops[i].Kind == circuit.KindMeasure {
+			return true
+		}
+	}
+	return false
+}
+
+// runOne executes a single noisy trajectory. clbits is a 1-element
+// scratch slice holding the packed classical register.
+func runOne(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64) {
+	b.Reset()
+	clbits[0] = 0
+	noisy := model.Enabled()
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Cond != nil && !condHolds(op.Cond, clbits[0]) {
+			continue
+		}
+		switch op.Kind {
+		case circuit.KindGate:
+			b.ApplyOp(i)
+			if noisy {
+				model.ApplyAfterGate(b, op.Qubits(), rng)
+			}
+		case circuit.KindMeasure:
+			outcome := measure(b, op.Target, rng)
+			if outcome == 1 {
+				clbits[0] |= 1 << uint(op.Cbit)
+			} else {
+				clbits[0] &^= 1 << uint(op.Cbit)
+			}
+		case circuit.KindReset:
+			if measure(b, op.Target, rng) == 1 {
+				b.ApplyPauli(sim.PauliX, op.Target)
+			}
+		case circuit.KindBarrier:
+			// no effect
+		}
+	}
+}
+
+func condHolds(cond *circuit.Condition, clbits uint64) bool {
+	var v uint64
+	for i, b := range cond.Bits {
+		v |= (clbits >> uint(b) & 1) << uint(i)
+	}
+	return v == cond.Value
+}
+
+// measure samples one qubit and collapses the state.
+func measure(b sim.Backend, qubit int, rng *rand.Rand) int {
+	p1 := b.ProbOne(qubit)
+	outcome := 0
+	prob := 1 - p1
+	if rng.Float64() < p1 {
+		outcome = 1
+		prob = p1
+	}
+	if prob <= 0 {
+		// Numerically impossible branch: take the certain one instead.
+		outcome = 1 - outcome
+		prob = 1 - prob
+	}
+	b.Collapse(qubit, outcome, prob)
+	return outcome
+}
+
+// Deterministic performs one noise-free pass over the circuit
+// (ignoring measurements' randomness source only insofar as the seed
+// fixes it) and returns the backend holding the final state. Useful
+// for examples, tests and the property estimators' ground truth on
+// noiseless circuits.
+func Deterministic(c *circuit.Circuit, factory sim.Factory, seed int64) (sim.Backend, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := factory(c)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	clbits := make([]uint64, 1)
+	runOne(b, c, noise.Model{}, rng, clbits)
+	return b, nil
+}
+
+// Describe formats a one-line summary of a result for CLI output.
+func Describe(r *Result) string {
+	return fmt.Sprintf("runs=%d workers=%d elapsed=%s timed_out=%v distinct_outcomes=%d",
+		r.Runs, r.Workers, r.Elapsed.Round(time.Millisecond), r.TimedOut, len(r.Counts))
+}
