@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ddsim"
@@ -25,16 +27,21 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to regenerate: 1a, 1b, 1c, all")
-		runs    = flag.Int("runs", 30, "stochastic runs per cell (paper: 30000)")
-		budget  = flag.Duration("budget", 0, "per-cell time budget (paper: 1h); 0 picks a default")
-		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores)")
-		seed    = flag.Int64("seed", 1, "base RNG seed")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
-		sizesA  = flag.String("sizes-1a", "8,12,16,20,22,24,28,32,48,64", "entanglement qubit counts")
-		sizesB  = flag.String("sizes-1b", "8,10,12,14,16,18,20,24,28,32", "QFT qubit counts")
+		table      = flag.String("table", "all", "which table to regenerate: 1a, 1b, 1c, all")
+		runs       = flag.Int("runs", 30, "stochastic runs per cell (paper: 30000)")
+		budget     = flag.Duration("budget", 0, "per-cell time budget (paper: 1h); 0 picks a default")
+		workers    = flag.Int("workers", 0, "concurrent workers (0 = all cores)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		accuracy   = flag.Float64("accuracy", 0, "adaptive stopping per cell: run only the trajectories Theorem 1 requires for this ε (0 = always run -runs)")
+		confidence = flag.Float64("confidence", 0.95, "confidence level 1−δ for -accuracy")
+		sizesA     = flag.String("sizes-1a", "8,12,16,20,22,24,28,32,48,64", "entanglement qubit counts")
+		sizesB     = flag.String("sizes-1b", "8,10,12,14,16,18,20,24,28,32", "QFT qubit counts")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *budget == 0 {
 		*budget = qbench.DefaultBudget
@@ -45,11 +52,14 @@ func main() {
 			{Name: "statevec", Factory: mustFactory(ddsim.BackendStatevector)},
 			{Name: "sparse-la", Factory: mustFactory(ddsim.BackendSparse)},
 		},
-		Model:   noise.PaperDefaults(),
-		Runs:    *runs,
-		Budget:  *budget,
-		Workers: *workers,
-		Seed:    *seed,
+		Model:            noise.PaperDefaults(),
+		Runs:             *runs,
+		Budget:           *budget,
+		Workers:          *workers,
+		Seed:             *seed,
+		Context:          ctx,
+		TargetAccuracy:   *accuracy,
+		TargetConfidence: *confidence,
 	}
 	if !*quiet {
 		runner.Verbose = func(format string, args ...interface{}) {
@@ -76,6 +86,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown table %q (want 1a, 1b, 1c, ext, all)\n", *table)
 		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		// Interrupted cells were reported as errors in the tables; make
+		// the partial regeneration visible to scripts too.
+		fmt.Fprintln(os.Stderr, "benchtab: interrupted, tables are partial")
+		os.Exit(130)
 	}
 }
 

@@ -7,13 +7,30 @@
 //	sqcsim -circuit ghz -n 24 -runs 1000
 //	sqcsim -qasm my.qasm -runs 500 -backend statevec
 //	sqcsim -circuit qft -n 16 -depol 0.001 -damp 0.002 -flip 0.001 -top 8
+//
+// Adaptive stopping (-accuracy, with -confidence) issues only as many
+// trajectories as the paper's Theorem 1 requires, capped by -runs:
+//
+//	sqcsim -circuit ghz -n 12 -runs 30000 -accuracy 0.02
+//
+// Noise-sweep mode (-sweep) re-runs the circuit at several multiples
+// of the base noise point through one shared worker pool
+// (BatchSimulate) and prints one summary line per point:
+//
+//	sqcsim -circuit ghz -n 12 -runs 2000 -sweep 0,1,2,5,10
+//
+// A running simulation can be interrupted with Ctrl-C: the completed
+// trajectories are aggregated and reported as a partial result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ddsim"
@@ -23,24 +40,31 @@ import (
 
 func main() {
 	var (
-		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
-		name     = flag.String("circuit", "", "built-in circuit: ghz, qft, bv, ising, vqe_uccsd, sat, seca, multiplier, bigadder, cc, basis_trotter")
-		n        = flag.Int("n", 8, "qubit count for built-in circuits")
-		backend  = flag.String("backend", ddsim.BackendDD, "simulation backend: dd, statevec, sparse")
-		runs     = flag.Int("runs", 1000, "number of stochastic runs (M)")
-		workers  = flag.Int("workers", 0, "concurrent workers (0 = all cores)")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		shots    = flag.Int("shots", 1, "basis samples per run")
-		depol    = flag.Float64("depol", 0.001, "depolarising (gate error) probability")
-		damp     = flag.Float64("damp", 0.002, "amplitude damping (T1) probability")
-		flip     = flag.Float64("flip", 0.001, "phase flip (T2) probability")
-		noNoise  = flag.Bool("perfect", false, "simulate a perfect (noise-free) quantum computer")
-		exactT1  = flag.Bool("exact-t1", false, "use the exact amplitude-damping channel (Example 6) instead of the default event semantics (Section III); see DESIGN.md")
-		top      = flag.Int("top", 8, "number of most frequent outcomes to print")
-		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
-		fidelity = flag.Bool("fidelity", false, "also estimate fidelity with the noise-free output state")
+		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
+		name       = flag.String("circuit", "", "built-in circuit: ghz, qft, bv, ising, vqe_uccsd, sat, seca, multiplier, bigadder, cc, basis_trotter")
+		n          = flag.Int("n", 8, "qubit count for built-in circuits")
+		backend    = flag.String("backend", ddsim.BackendDD, "simulation backend: dd, statevec, sparse")
+		runs       = flag.Int("runs", 1000, "trajectory budget M (exact run count unless -accuracy is set)")
+		workers    = flag.Int("workers", 0, "concurrent workers (0 = all cores)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		shots      = flag.Int("shots", 1, "basis samples per run")
+		depol      = flag.Float64("depol", 0.001, "depolarising (gate error) probability")
+		damp       = flag.Float64("damp", 0.002, "amplitude damping (T1) probability")
+		flip       = flag.Float64("flip", 0.001, "phase flip (T2) probability")
+		noNoise    = flag.Bool("perfect", false, "simulate a perfect (noise-free) quantum computer")
+		exactT1    = flag.Bool("exact-t1", false, "use the exact amplitude-damping channel (Example 6) instead of the default event semantics (Section III); see DESIGN.md")
+		top        = flag.Int("top", 8, "number of most frequent outcomes to print")
+		timeout    = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		fidelity   = flag.Bool("fidelity", false, "also estimate fidelity with the noise-free output state")
+		accuracy   = flag.Float64("accuracy", 0, "adaptive stopping: stop once Theorem 1 guarantees this accuracy ε (0 = always run the full budget)")
+		confidence = flag.Float64("confidence", 0.95, "confidence level 1−δ for -accuracy and the reported radius")
+		progress   = flag.Bool("progress", false, "print periodic progress lines while simulating")
+		sweep      = flag.String("sweep", "", "noise sweep: comma-separated multiples of the base noise point, e.g. 0,1,2,5,10 (batch mode, one shared worker pool)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	circ, err := loadCircuit(*qasmPath, *name, *n)
 	if err != nil {
@@ -55,26 +79,147 @@ func main() {
 	if *noNoise {
 		model = ddsim.NoNoise()
 	}
+	opts := ddsim.Options{
+		Runs: *runs, Workers: *workers, Seed: *seed, Shots: *shots, Timeout: *timeout,
+		TrackFidelity: *fidelity, TargetAccuracy: *accuracy, TargetConfidence: *confidence,
+	}
+	if *progress {
+		opts.OnProgress = func(p ddsim.Progress) {
+			fmt.Fprintf(os.Stderr, "· job %d: %d/%d runs, radius ±%.4f, %s\n",
+				p.Job, p.Done, p.Target, p.ConfidenceRadius, p.Elapsed.Round(10e6))
+		}
+	}
 
 	fmt.Printf("circuit : %s (%d qubits, %d gates)\n", circ.Name, circ.NumQubits, circ.GateCount())
 	fmt.Printf("backend : %s\n", *backend)
-	fmt.Printf("noise   : %s\n", model)
-	fmt.Printf("runs    : %d (accuracy ±%.4f for 1000 properties at 95%% confidence)\n",
-		*runs, ddsim.EstimateAccuracy(*runs, 1000, 0.05))
 
-	res, err := ddsim.Simulate(circ, *backend, model, ddsim.Options{
-		Runs: *runs, Workers: *workers, Seed: *seed, Shots: *shots, Timeout: *timeout,
-		TrackFidelity: *fidelity,
-	})
+	if *sweep != "" {
+		scales, err := parseScales(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+		runSweep(ctx, circ, *backend, model, opts, scales, *workers)
+		return
+	}
+
+	fmt.Printf("noise   : %s\n", model)
+	if *accuracy > 0 {
+		need, err := ddsim.RequiredRuns(1, *accuracy, 1-*confidence)
+		if err != nil {
+			fatal(err)
+		}
+		planned, note := need, ""
+		if need > *runs {
+			planned, note = *runs, " — budget too small for ε"
+		}
+		fmt.Printf("runs    : %d of budget %d (adaptive: ε=%g at %g%% confidence)%s\n",
+			planned, *runs, *accuracy, *confidence*100, note)
+	} else {
+		fmt.Printf("runs    : %d (accuracy ±%.4f for 1000 properties at 95%% confidence)\n",
+			*runs, ddsim.EstimateAccuracy(*runs, 1000, 0.05))
+	}
+
+	res, err := ddsim.SimulateContext(ctx, circ, *backend, model, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("result  : %s\n", stochastic.Describe(res))
+	if res.BudgetExhausted {
+		fmt.Printf("warning : run budget exhausted before reaching ε=%.4g (achieved ±%.4f)\n",
+			*accuracy, res.ConfidenceRadius)
+	}
+	if res.Interrupted {
+		fmt.Printf("warning : interrupted; partial result over %d runs\n", res.Runs)
+	}
 	if *fidelity {
 		fmt.Printf("fidelity: %.4f (mean |⟨ψ_ideal|ψ̃⟩|² over all runs)\n", res.MeanFidelity)
 	}
 	fmt.Println()
 	printHistogram(res, circ.NumQubits, *top)
+}
+
+// runSweep simulates the circuit at every multiple of the base noise
+// point through one BatchSimulate worker pool and prints one line per
+// point. All points share the seed, so they are coupled (common random
+// numbers) and differences between rows isolate the noise effect.
+func runSweep(ctx context.Context, circ *ddsim.Circuit, backend string, base ddsim.NoiseModel, opts ddsim.Options, scales []float64, workers int) {
+	jobs := make([]ddsim.BatchJob, len(scales))
+	for i, s := range scales {
+		jobs[i] = ddsim.BatchJob{Circuit: circ, Model: base.Scale(s), Opts: opts}
+	}
+	fmt.Printf("sweep   : %d noise points × %d runs (shared worker pool)\n\n", len(scales), opts.Runs)
+	results, err := ddsim.BatchSimulate(ctx, backend, jobs, workers)
+	if results == nil && err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%8s  %-28s  %9s  %8s  %9s  %s\n",
+		"scale", "noise", "runs", "radius", "elapsed", "top outcome")
+	failed := false
+	for i, res := range results {
+		if res == nil {
+			// On Ctrl-C, points the pool never reached have no result;
+			// that is interruption, not failure.
+			if ctx.Err() != nil {
+				fmt.Printf("%8g  %-28s  (not started: interrupted)\n", scales[i], jobs[i].Model)
+				continue
+			}
+			failed = true
+			fmt.Printf("%8g  %-28s  (failed)\n", scales[i], jobs[i].Model)
+			continue
+		}
+		topIdx, topFrac := topOutcome(res)
+		note := ""
+		if res.Interrupted {
+			note = "  (interrupted)"
+		} else if res.TimedOut {
+			note = "  (timed out)"
+		}
+		fmt.Printf("%8g  %-28s  %4d/%-4d  ±%.4f  %8s  |%0*b⟩ %5.1f%%%s\n",
+			scales[i], jobs[i].Model, res.Runs, res.TargetRuns, res.ConfidenceRadius,
+			res.Elapsed.Round(10e6), circ.NumQubits, topIdx, 100*topFrac, note)
+	}
+	if failed {
+		fatal(err)
+	}
+}
+
+// topOutcome returns the most frequent sampled outcome (preferring the
+// classical register when the circuit measures) and its fraction.
+func topOutcome(res *ddsim.Result) (uint64, float64) {
+	counts := res.Counts
+	if len(res.ClassicalCounts) > 0 {
+		counts = res.ClassicalCounts
+	}
+	var best uint64
+	bestN, total := -1, 0
+	for k, v := range counts {
+		total += v
+		if v > bestN || (v == bestN && k < best) {
+			best, bestN = k, v
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return best, float64(bestN) / float64(total)
+}
+
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep scale %q", part)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("sweep scale %v is negative", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return out, nil
 }
 
 func loadCircuit(qasmPath, name string, n int) (*ddsim.Circuit, error) {

@@ -32,9 +32,42 @@
 //	res, err := ddsim.Simulate(c, ddsim.BackendDD, ddsim.PaperNoise(), ddsim.Options{Runs: 1000})
 //	if err != nil { ... }
 //	fmt.Println(res.SampleFraction(0)) // ≈ 0.5 minus noise losses
+//
+// # Jobs, cancellation and adaptive stopping
+//
+// SimulateContext runs the same Monte-Carlo job under a
+// context.Context: cancelling the context stops issuing trajectories
+// and returns a partial Result with Interrupted set. Setting
+// Options.TargetAccuracy (with Options.TargetConfidence, default
+// 0.95) enables adaptive stopping — the engine issues only as many
+// trajectories as Theorem 1 requires for that accuracy, up to the
+// Options.Runs budget; if the budget is too small for the target,
+// Result.BudgetExhausted is set. Options.OnProgress delivers periodic
+// Progress snapshots (runs completed, running estimates, current
+// Theorem-1 confidence radius). Results are bit-identical across
+// worker counts for a fixed Options.Seed: work is dispatched in fixed
+// chunks of the run-index space, run j always uses RNG seed Seed+j,
+// and partial sums are reduced in run order.
+//
+// # Batch simulation
+//
+// BatchSimulate runs a set of (circuit, noise-point) jobs — for
+// example a noise-amplitude sweep of one circuit — through one shared
+// worker pool instead of looping over Simulate calls, keeping every
+// core busy across job boundaries:
+//
+//	jobs := []ddsim.BatchJob{
+//		{Circuit: c, Model: ddsim.NoNoise(), Opts: ddsim.Options{Runs: 1000}},
+//		{Circuit: c, Model: ddsim.PaperNoise(), Opts: ddsim.Options{Runs: 1000}},
+//	}
+//	results, err := ddsim.BatchSimulate(ctx, ddsim.BackendDD, jobs, 0)
+//
+// Each job's result is bit-identical to a standalone Simulate call
+// with the same seed.
 package ddsim
 
 import (
+	"context"
 	"fmt"
 
 	"ddsim/internal/circuit"
@@ -64,6 +97,12 @@ type (
 	Options = stochastic.Options
 	// Result aggregates a stochastic simulation.
 	Result = stochastic.Result
+	// Progress is a periodic snapshot of a running simulation,
+	// delivered to Options.OnProgress.
+	Progress = stochastic.Progress
+	// BatchJob is one (circuit, noise-point) unit of work for
+	// BatchSimulate.
+	BatchJob = stochastic.Job
 	// Backend is a compiled simulation engine instance.
 	Backend = sim.Backend
 )
@@ -124,11 +163,34 @@ func NoNoise() NoiseModel { return NoiseModel{} }
 // the selected backend. With a zero noise model and Runs = 1 it acts
 // as a plain (noise-free) simulator.
 func Simulate(c *Circuit, backend string, model NoiseModel, opts Options) (*Result, error) {
+	return SimulateContext(context.Background(), c, backend, model, opts)
+}
+
+// SimulateContext is Simulate under a context: cancelling ctx stops
+// issuing trajectories and returns the partial Result aggregated so
+// far with Interrupted set (or an error if no trajectory completed).
+func SimulateContext(ctx context.Context, c *Circuit, backend string, model NoiseModel, opts Options) (*Result, error) {
 	f, err := Factory(backend)
 	if err != nil {
 		return nil, err
 	}
-	return stochastic.Run(c, f, model, opts)
+	return stochastic.RunContext(ctx, c, f, model, opts)
+}
+
+// BatchSimulate runs a set of (circuit, noise-point) jobs through one
+// shared worker pool of the given size (0 means GOMAXPROCS) on the
+// selected backend — the engine for noise sweeps and other multi-point
+// workloads. The returned slice is indexed like jobs; failed jobs have
+// a nil entry and contribute to the joined error while the remaining
+// jobs still complete. Per-job options (seed, runs, adaptive stopping,
+// progress callbacks) apply independently, and each job's result is
+// bit-identical to a standalone Simulate call with the same seed.
+func BatchSimulate(ctx context.Context, backend string, jobs []BatchJob, workers int) ([]*Result, error) {
+	f, err := Factory(backend)
+	if err != nil {
+		return nil, err
+	}
+	return stochastic.RunBatch(ctx, f, jobs, workers)
 }
 
 // NewBackend compiles a circuit for one backend and returns the

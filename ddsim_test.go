@@ -1,6 +1,7 @@
 package ddsim
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -116,6 +117,70 @@ func TestRequiredRuns(t *testing.T) {
 	}
 	if _, err := RequiredRuns(0, 0.01, 0.05); err == nil {
 		t.Error("invalid property count accepted")
+	}
+}
+
+// TestBatchSimulateNoiseSweep exercises the public batch API: a noise
+// sweep through one shared pool must reproduce standalone Simulate
+// results bit-for-bit and show monotonically degrading GHZ mass.
+func TestBatchSimulateNoiseSweep(t *testing.T) {
+	c := GHZ(6)
+	scales := []float64{0, 1, 20}
+	jobs := make([]BatchJob, len(scales))
+	for i, s := range scales {
+		jobs[i] = BatchJob{
+			Circuit: c,
+			Model: NoiseModel{
+				Depolarizing: 0.001 * s, Damping: 0.002 * s, PhaseFlip: 0.001 * s,
+			},
+			Opts: Options{Runs: 300, Seed: 11, TrackStates: []uint64{0, 63}},
+		}
+	}
+	results, err := BatchSimulate(context.Background(), BackendDD, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, job := range jobs {
+		solo, err := Simulate(c, BackendDD, job.Model, job.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range solo.TrackedProbs {
+			if results[i].TrackedProbs[l] != solo.TrackedProbs[l] {
+				t.Errorf("sweep point %d: batch ô[%d]=%v vs solo %v (not bit-identical)",
+					i, l, results[i].TrackedProbs[l], solo.TrackedProbs[l])
+			}
+		}
+	}
+	mass := func(r *Result) float64 { return r.TrackedProbs[0] + r.TrackedProbs[1] }
+	if !(mass(results[0]) > mass(results[2])) {
+		t.Errorf("GHZ mass did not degrade across sweep: %v vs %v",
+			mass(results[0]), mass(results[2]))
+	}
+}
+
+// TestSimulateContextAdaptive drives adaptive stopping through the
+// facade: runs used must match RequiredRuns and stay below the budget.
+func TestSimulateContextAdaptive(t *testing.T) {
+	res, err := SimulateContext(context.Background(), GHZ(6), BackendDD, PaperNoise(), Options{
+		Runs: 100000, Seed: 2, TrackStates: []uint64{0, 63},
+		TargetAccuracy: 0.08, TargetConfidence: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	need, err := RequiredRuns(2, 0.08, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != need {
+		t.Errorf("adaptive runs = %d, RequiredRuns = %d", res.Runs, need)
+	}
+	// δ = 1 − 0.95 differs from the literal 0.05 by one ULP, so the
+	// radii agree to float precision, not bitwise.
+	if math.Abs(res.ConfidenceRadius-EstimateAccuracy(res.Runs, 2, 0.05)) > 1e-12 {
+		t.Errorf("radius %v vs EstimateAccuracy %v",
+			res.ConfidenceRadius, EstimateAccuracy(res.Runs, 2, 0.05))
 	}
 }
 

@@ -3,10 +3,13 @@
 // circuit with a user-defined gate, measurements and a classically
 // conditioned correction), runs it under increasing noise, and shows
 // how the classical outcome distribution degrades — the question
-// stochastic noisy simulation exists to answer.
+// stochastic noisy simulation exists to answer. The noise sweep runs
+// as one BatchSimulate call: all four noise points share one worker
+// pool instead of being simulated one after another.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -42,19 +45,22 @@ func main() {
 	}
 	fmt.Printf("parsed %q: %d qubits, %d operations\n\n", circ.Name, circ.NumQubits, len(circ.Ops))
 
-	for _, scale := range []float64{0, 1, 10, 50} {
-		model := ddsim.NoiseModel{
-			Depolarizing: 0.001 * scale,
-			Damping:      0.002 * scale,
-			PhaseFlip:    0.001 * scale,
+	base := ddsim.NoiseModel{Depolarizing: 0.001, Damping: 0.002, PhaseFlip: 0.001}
+	scales := []float64{0, 1, 10, 50}
+	jobs := make([]ddsim.BatchJob, len(scales))
+	for i, scale := range scales {
+		jobs[i] = ddsim.BatchJob{
+			Circuit: circ,
+			Model:   base.Scale(scale),
+			Opts:    ddsim.Options{Runs: 3000, Seed: 7},
 		}
-		res, err := ddsim.Simulate(circ, ddsim.BackendDD, model, ddsim.Options{
-			Runs: 3000, Seed: 7,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("noise ×%-4g (%s): ", scale, model)
+	}
+	results, err := ddsim.BatchSimulate(context.Background(), ddsim.BackendDD, jobs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("noise ×%-4g (%s): ", scales[i], jobs[i].Model)
 		printTop(res, 3)
 	}
 }

@@ -1,0 +1,3 @@
+module ddsim
+
+go 1.22

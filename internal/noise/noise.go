@@ -66,6 +66,16 @@ func (m Model) Enabled() bool {
 	return m.Depolarizing > 0 || m.Damping > 0 || m.PhaseFlip > 0
 }
 
+// Scale returns the model with every error probability multiplied by
+// s, preserving the damping semantics — the unit of noise sweeps.
+// Scaled probabilities above 1 are rejected by Validate as usual.
+func (m Model) Scale(s float64) Model {
+	m.Depolarizing *= s
+	m.Damping *= s
+	m.PhaseFlip *= s
+	return m
+}
+
 // Validate checks that all probabilities lie in [0, 1].
 func (m Model) Validate() error {
 	for _, p := range []struct {

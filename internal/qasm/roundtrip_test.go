@@ -1,0 +1,181 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ddsim/internal/circuit"
+)
+
+// canonicalGates is the gate alphabet in the spelling the parser
+// itself produces, so Write(c) is already in canonical form and
+// Write∘Parse must be the identity on it.
+var (
+	canonicalSingles    = []string{"h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "id"}
+	canonicalParamGates = []struct {
+		name   string
+		params int
+	}{{"rx", 1}, {"ry", 1}, {"rz", 1}, {"p", 1}, {"u2", 2}, {"u3", 3}}
+	canonicalCtrlSingles = []string{"x", "y", "z", "h", "sx"}
+	canonicalCtrlParam   = []struct {
+		name   string
+		params int
+	}{{"rx", 1}, {"ry", 1}, {"rz", 1}, {"p", 1}, {"u3", 3}}
+)
+
+func randAngles(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64()*2 - 1) * 2 * math.Pi
+	}
+	return out
+}
+
+// randomWritableCircuit generates a circuit over everything the writer
+// can emit: plain/parameterised/controlled gates, Toffolis, barriers,
+// measurements, resets, and classically conditioned operations.
+func randomWritableCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New("roundtrip", n)
+	fullReg := make([]int, n)
+	for i := range fullReg {
+		fullReg[i] = i
+	}
+	for i := 0; i < ops; i++ {
+		q := rng.Intn(n)
+		ctl := rng.Intn(n)
+		if ctl == q {
+			ctl = (ctl + 1) % n
+		}
+		switch rng.Intn(10) {
+		case 0:
+			g := canonicalParamGates[rng.Intn(len(canonicalParamGates))]
+			c.Gate(g.name, q, randAngles(rng, g.params)...)
+		case 1:
+			c.CGate(canonicalCtrlSingles[rng.Intn(len(canonicalCtrlSingles))], ctl, q)
+		case 2:
+			g := canonicalCtrlParam[rng.Intn(len(canonicalCtrlParam))]
+			c.CGate(g.name, ctl, q, randAngles(rng, g.params)...)
+		case 3:
+			qs := rng.Perm(n)
+			c.CCX(qs[0], qs[1], qs[2])
+		case 4:
+			c.Measure(q, rng.Intn(n))
+		case 5:
+			c.Reset(q)
+		case 6:
+			c.Barrier()
+		case 7: // conditioned gate: the writer requires the condition to
+			// cover the classical register contiguously from bit 0.
+			c.Append(circuit.Op{Kind: circuit.KindGate,
+				Name: canonicalSingles[rng.Intn(len(canonicalSingles))], Target: q,
+				Cond: &circuit.Condition{Bits: fullReg, Value: uint64(rng.Intn(1 << uint(n)))}})
+		case 8: // conditioned measure
+			c.Append(circuit.Op{Kind: circuit.KindMeasure, Target: q, Cbit: rng.Intn(n),
+				Cond: &circuit.Condition{Bits: fullReg, Value: uint64(rng.Intn(1 << uint(n)))}})
+		default:
+			c.Gate(canonicalSingles[rng.Intn(len(canonicalSingles))], q)
+		}
+	}
+	return c
+}
+
+// roundtripFixpoint asserts Write(Parse(Write(c))) == Write(c): one
+// Write canonicalises, after which Write∘Parse must be the identity.
+func roundtripFixpoint(t *testing.T, c *circuit.Circuit) {
+	t.Helper()
+	w1, err := Write(c)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse("roundtrip", w1)
+	if err != nil {
+		t.Fatalf("Parse(Write(c)): %v\nsource:\n%s", err, w1)
+	}
+	w2, err := Write(c2)
+	if err != nil {
+		t.Fatalf("Write(Parse(Write(c))): %v", err)
+	}
+	if w2 != w1 {
+		t.Fatalf("Write∘Parse not a fixpoint:\nfirst:\n%s\nsecond:\n%s", w1, w2)
+	}
+	// One more cycle for paranoia: the fixpoint must be stable.
+	c3, err := Parse("roundtrip", w2)
+	if err != nil {
+		t.Fatalf("second Parse: %v", err)
+	}
+	w3, err := Write(c3)
+	if err != nil {
+		t.Fatalf("third Write: %v", err)
+	}
+	if w3 != w2 {
+		t.Fatalf("fixpoint unstable on second cycle:\n%s\nvs\n%s", w2, w3)
+	}
+}
+
+// TestWriteParseWriteFixpointRandom is the property test: for random
+// circuits over the writable alphabet, Write(Parse(Write(c))) == Write(c),
+// with the full 17-significant-digit float parameters surviving.
+func TestWriteParseWriteFixpointRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		c := randomWritableCircuit(n, 30, rng)
+		roundtripFixpoint(t, c)
+	}
+}
+
+// TestWriteParseWriteFixpointAlphabet covers every gate the writer can
+// emit exactly once, so no alphabet entry escapes the property by rng
+// chance.
+func TestWriteParseWriteFixpointAlphabet(t *testing.T) {
+	c := circuit.New("alphabet", 3)
+	for _, g := range canonicalSingles {
+		c.Gate(g, 0)
+	}
+	for i, g := range canonicalParamGates {
+		c.Gate(g.name, 1, randAngles(rand.New(rand.NewSource(int64(i))), g.params)...)
+	}
+	for _, g := range canonicalCtrlSingles {
+		c.CGate(g, 0, 1)
+	}
+	for i, g := range canonicalCtrlParam {
+		c.CGate(g.name, 1, 2, randAngles(rand.New(rand.NewSource(int64(i)+100)), g.params)...)
+	}
+	c.CCX(0, 1, 2)
+	c.Barrier()
+	c.Measure(0, 0)
+	c.Reset(1)
+	c.Append(circuit.Op{Kind: circuit.KindGate, Name: "x", Target: 2,
+		Cond: &circuit.Condition{Bits: []int{0, 1, 2}, Value: 5}})
+	c.Append(circuit.Op{Kind: circuit.KindMeasure, Target: 1, Cbit: 2,
+		Cond: &circuit.Condition{Bits: []int{0, 1, 2}, Value: 2}})
+	c.Append(circuit.Op{Kind: circuit.KindReset, Target: 0,
+		Cond: &circuit.Condition{Bits: []int{0, 1, 2}, Value: 1}})
+	roundtripFixpoint(t, c)
+}
+
+// TestRoundTrippedCircuitsStayValid: parsed round-trip output must
+// still validate and preserve the operation count.
+func TestRoundTrippedCircuitsStayValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := randomWritableCircuit(4, 40, rng)
+	w, err := Write(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse("again", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Ops) != len(c.Ops) {
+		t.Errorf("op count changed: %d vs %d", len(c2.Ops), len(c.Ops))
+	}
+	if c2.NumQubits != c.NumQubits || c2.NumClbits != c.NumClbits {
+		t.Errorf("register sizes changed: q=%d c=%d vs q=%d c=%d",
+			c2.NumQubits, c2.NumClbits, c.NumQubits, c.NumClbits)
+	}
+}

@@ -1,6 +1,7 @@
 package qbench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -80,6 +81,14 @@ type Runner struct {
 	Budget   time.Duration
 	Workers  int
 	Seed     int64
+	// Context, when set, cancels in-flight cells (e.g. on Ctrl-C);
+	// interrupted cells are reported as errors.
+	Context context.Context
+	// TargetAccuracy/TargetConfidence, when set, enable the engine's
+	// adaptive stopping per cell: each simulator runs only as many
+	// trajectories as Theorem 1 requires, capped by Runs.
+	TargetAccuracy   float64
+	TargetConfidence float64
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...interface{})
 }
@@ -101,14 +110,23 @@ func (r *Runner) columns() []string {
 
 // measure runs one cell.
 func (r *Runner) measure(b Benchmark, f sim.Factory) Cell {
-	res, err := stochastic.Run(b.Circuit, f, r.Model, stochastic.Options{
-		Runs:    r.Runs,
-		Workers: r.Workers,
-		Seed:    r.Seed,
-		Timeout: r.Budget,
+	ctx := r.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := stochastic.RunContext(ctx, b.Circuit, f, r.Model, stochastic.Options{
+		Runs:             r.Runs,
+		Workers:          r.Workers,
+		Seed:             r.Seed,
+		Timeout:          r.Budget,
+		TargetAccuracy:   r.TargetAccuracy,
+		TargetConfidence: r.TargetConfidence,
 	})
 	if err != nil {
 		return Cell{Status: CellError, Err: err.Error()}
+	}
+	if res.Interrupted {
+		return Cell{Status: CellError, Err: "interrupted"}
 	}
 	if res.TimedOut {
 		return Cell{Status: CellTimeout, Elapsed: res.Elapsed}

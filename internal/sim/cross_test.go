@@ -8,9 +8,11 @@ import (
 
 	"ddsim/internal/circuit"
 	"ddsim/internal/ddback"
+	"ddsim/internal/noise"
 	"ddsim/internal/sim"
 	"ddsim/internal/sparsemat"
 	"ddsim/internal/statevec"
+	"ddsim/internal/stochastic"
 )
 
 // factories lists every backend implementation; all cross-checks run
@@ -105,6 +107,154 @@ func TestBackendsAgreeOnRandomCircuits(t *testing.T) {
 			}
 			if cmplx.Abs(svAmps[i]-spAmps[i]) > 1e-9 {
 				t.Fatalf("seed %d: sparse vs statevec amplitude %d: %v vs %v", seed, i, spAmps[i], svAmps[i])
+			}
+		}
+	}
+}
+
+// randomDynamicCircuit builds a random circuit over the full operation
+// alphabet, including the non-unitary kinds — measurements, resets,
+// classically conditioned gates and barriers — that runAll cannot
+// exercise. The stochastic driver owns their semantics, so these
+// circuits cross-check the full trajectory path across backends.
+func randomDynamicCircuit(n, ops int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New("dynamic", n)
+	singles := []string{"h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"}
+	for i := 0; i < ops; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(9) {
+		case 0: // parameterised single-qubit gate
+			which := []string{"rx", "ry", "rz", "p"}[rng.Intn(4)]
+			c.Gate(which, q, rng.Float64()*2*math.Pi)
+		case 1: // controlled gate
+			ctl := rng.Intn(n)
+			if ctl == q {
+				ctl = (ctl + 1) % n
+			}
+			c.CGate("x", ctl, q)
+		case 2: // Toffoli
+			if n >= 3 {
+				qs := rng.Perm(n)
+				c.CCX(qs[0], qs[1], qs[2])
+			}
+		case 3: // mid-circuit measurement
+			c.Measure(q, q)
+		case 4: // reset
+			c.Reset(q)
+		case 5: // classically conditioned gate
+			bit := rng.Intn(n)
+			c.Append(circuit.Op{Kind: circuit.KindGate, Name: singles[rng.Intn(len(singles))], Target: q,
+				Cond: &circuit.Condition{Bits: []int{bit}, Value: uint64(rng.Intn(2))}})
+		case 6: // barrier
+			c.Barrier()
+		default:
+			c.Gate(singles[rng.Intn(len(singles))], q)
+		}
+	}
+	return c
+}
+
+// TestBackendsAgreeOnDynamicCircuits runs seeded random circuits with
+// every operation kind (conditionals, resets, measurements) through
+// the full noisy trajectory driver on all three backends: identical
+// seeds must give identical measurement histograms and property
+// estimates agreeing to float precision.
+func TestBackendsAgreeOnDynamicCircuits(t *testing.T) {
+	m := noise.Model{Depolarizing: 0.01, Damping: 0.02, PhaseFlip: 0.01}
+	for seed := int64(0); seed < 4; seed++ {
+		c := randomDynamicCircuit(4, 40, seed)
+		tracked := make([]uint64, 16)
+		for i := range tracked {
+			tracked[i] = uint64(i)
+		}
+		opts := stochastic.Options{Runs: 300, Seed: seed*101 + 7, TrackStates: tracked}
+		var ref *stochastic.Result
+		var refName string
+		for name, f := range factories() {
+			res, err := stochastic.Run(c, f, m, opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if ref == nil {
+				ref, refName = res, name
+				continue
+			}
+			for i := range tracked {
+				if math.Abs(res.TrackedProbs[i]-ref.TrackedProbs[i]) > 1e-9 {
+					t.Errorf("seed %d: ô(%d) %s=%v vs %s=%v", seed, i,
+						name, res.TrackedProbs[i], refName, ref.TrackedProbs[i])
+				}
+			}
+			// SampleBasis may consume a backend-specific number of RNG
+			// draws, so sampled histograms agree statistically, not
+			// bitwise (unlike the classical register, which the driver
+			// samples identically on every backend). Compare over the
+			// union of keys so spurious outcomes are caught too.
+			keys := map[uint64]bool{}
+			for k := range ref.Counts {
+				keys[k] = true
+			}
+			for k := range res.Counts {
+				keys[k] = true
+			}
+			for k := range keys {
+				d := float64(res.Counts[k]-ref.Counts[k]) / float64(ref.Runs)
+				if math.Abs(d) > 0.05 {
+					t.Errorf("seed %d: counts[%d] %s=%d vs %s=%d (Δ=%.3f)", seed, k,
+						name, res.Counts[k], refName, ref.Counts[k], d)
+				}
+			}
+			for k, v := range ref.ClassicalCounts {
+				if res.ClassicalCounts[k] != v {
+					t.Errorf("seed %d: classical[%d] %s=%d vs %s=%d", seed, k,
+						name, res.ClassicalCounts[k], refName, v)
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicCircuitStatesAgree drives one deterministic trajectory of
+// a dynamic circuit per backend (same seed, so the same measurement
+// outcomes) and checks Probability, ProbOne and SampleBasis histograms
+// agree within tolerance.
+func TestDynamicCircuitStatesAgree(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		c := randomDynamicCircuit(5, 35, seed+100)
+		dim := uint64(1) << 5
+		backs := map[string]sim.Backend{}
+		for name, f := range factories() {
+			b, err := stochastic.Deterministic(c, f, 12345)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			backs[name] = b
+		}
+		ref := backs["statevec"]
+		for name, b := range backs {
+			for i := uint64(0); i < dim; i++ {
+				if got, want := b.Probability(i), ref.Probability(i); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("seed %d %s: P(%d) = %v, statevec %v", seed, name, i, got, want)
+				}
+			}
+			for q := 0; q < 5; q++ {
+				if got, want := b.ProbOne(q), ref.ProbOne(q); math.Abs(got-want) > 1e-9 {
+					t.Errorf("seed %d %s: ProbOne(%d) = %v, statevec %v", seed, name, q, got, want)
+				}
+			}
+			rng := rand.New(rand.NewSource(77))
+			const trials = 20000
+			counts := make([]int, dim)
+			for i := 0; i < trials; i++ {
+				counts[b.SampleBasis(rng)]++
+			}
+			for i := uint64(0); i < dim; i++ {
+				got := float64(counts[i]) / trials
+				if want := ref.Probability(i); math.Abs(got-want) > 0.02 {
+					t.Errorf("seed %d %s: sampled fraction of %d = %v, probability %v",
+						seed, name, i, got, want)
+				}
 			}
 		}
 	}

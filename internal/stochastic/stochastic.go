@@ -1,19 +1,22 @@
-// Package stochastic implements the Monte-Carlo simulation driver of
+// Package stochastic implements the Monte-Carlo simulation engine of
 // the paper's Section III and the concurrency scheme of Section IV-C:
 // M independent noisy simulation runs are distributed across worker
 // goroutines, each worker owning a private backend instance (for the
 // DD backend: a private decision-diagram package), so runs never
 // contend on shared mutable state. Empirical averages over the runs
 // estimate quadratic properties of the output ensemble.
+//
+// The engine layer (engine.go) adds production concerns on top of the
+// per-trajectory core in this file: context cancellation, chunked work
+// dispatch, periodic progress reporting, adaptive stopping against the
+// Theorem-1 bound, and batch execution of many (circuit, noise-point)
+// jobs over one shared worker pool.
 package stochastic
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"ddsim/internal/circuit"
@@ -23,12 +26,16 @@ import (
 
 // Options configures a stochastic simulation.
 type Options struct {
-	// Runs is the number of independent trajectories M (paper: 30000).
+	// Runs is the trajectory budget M (paper: 30000). With adaptive
+	// stopping enabled it is an upper bound; otherwise exactly Runs
+	// trajectories execute.
 	Runs int
 	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
+	// Ignored by RunBatch, which sizes one shared pool for all jobs.
 	Workers int
 	// Seed makes the whole simulation deterministic: run j uses an RNG
-	// seeded with Seed+j regardless of which worker executes it.
+	// seeded with Seed+j regardless of which worker executes it, so
+	// results are bit-identical across worker counts.
 	Seed int64
 	// Shots is the number of basis-state samples drawn from each final
 	// state (default 1).
@@ -44,6 +51,30 @@ type Options struct {
 	// Timeout, when positive, stops issuing new runs once exceeded.
 	// Completed runs still aggregate; Result.TimedOut is set.
 	Timeout time.Duration
+
+	// TargetAccuracy, when positive, enables adaptive stopping: the
+	// engine stops issuing trajectories as soon as Theorem 1 guarantees
+	// accuracy ε = TargetAccuracy at confidence TargetConfidence for
+	// the tracked properties, instead of always burning all Runs. Since
+	// the Hoeffding bound is distribution-free, the required run count
+	// M(ε, δ, L) = obs.SampleCount is known upfront; if it exceeds
+	// Runs, all Runs execute and Result.BudgetExhausted is set.
+	TargetAccuracy float64
+	// TargetConfidence is the confidence level 1−δ of the adaptive
+	// stopping rule and of Result.ConfidenceRadius (default 0.95).
+	TargetConfidence float64
+
+	// OnProgress, when set, receives periodic snapshots (every
+	// ProgressEvery completed runs, and once at job completion) from
+	// worker goroutines. Calls are serialised; keep the callback fast.
+	OnProgress func(Progress)
+	// ProgressEvery is the number of completed runs between OnProgress
+	// calls (default 512).
+	ProgressEvery int
+	// ChunkSize is the number of trajectories a worker claims per
+	// dequeue (default 64). Chunks are fixed blocks of the run-index
+	// space, so results stay bit-identical for any worker count.
+	ChunkSize int
 }
 
 func (o *Options) normalize() {
@@ -53,18 +84,49 @@ func (o *Options) normalize() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.Workers > o.Runs {
-		o.Workers = o.Runs
-	}
 	if o.Shots <= 0 {
 		o.Shots = 1
 	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = defaultChunkSize
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = defaultProgressEvery
+	}
+}
+
+// properties returns the number L of simultaneously tracked quadratic
+// properties entering the Theorem-1 union bound (at least 1).
+func (o *Options) properties() int {
+	l := len(o.TrackStates)
+	if o.TrackFidelity {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+// delta returns the failure probability δ = 1 − TargetConfidence.
+func (o *Options) delta() (float64, error) {
+	if o.TargetConfidence == 0 {
+		return 0.05, nil
+	}
+	if o.TargetConfidence <= 0 || o.TargetConfidence >= 1 {
+		return 0, fmt.Errorf("stochastic: target confidence %v outside (0,1)", o.TargetConfidence)
+	}
+	return 1 - o.TargetConfidence, nil
 }
 
 // Result aggregates a stochastic simulation.
 type Result struct {
 	// Runs is the number of completed trajectories.
 	Runs int
+	// TargetRuns is the number of trajectories the engine planned to
+	// execute: Options.Runs, or the (smaller) Theorem-1 requirement
+	// when adaptive stopping kicked in.
+	TargetRuns int
 	// Counts histograms the sampled final-state basis outcomes
 	// (Runs × Shots samples in total).
 	Counts map[uint64]int
@@ -77,11 +139,25 @@ type Result struct {
 	// MeanFidelity is the estimated fidelity with the noise-free final
 	// state (only meaningful when Options.TrackFidelity was set).
 	MeanFidelity float64
+	// Properties is the number L of tracked quadratic properties used
+	// in the Theorem-1 bounds.
+	Properties int
+	// ConfidenceRadius is the Theorem-1 accuracy ε guaranteed at
+	// confidence TargetConfidence for the actual completed run count.
+	ConfidenceRadius float64
 	// Elapsed is the wall-clock simulation time.
 	Elapsed time.Duration
-	// TimedOut reports whether the run budget was exhausted before all
-	// M trajectories completed.
+	// TimedOut reports whether Options.Timeout expired before the
+	// planned trajectories completed.
 	TimedOut bool
+	// BudgetExhausted reports that adaptive stopping was requested but
+	// the Theorem-1 requirement for TargetAccuracy exceeded the Runs
+	// budget, so the full budget was consumed without meeting ε.
+	BudgetExhausted bool
+	// Interrupted reports that the context was cancelled before the
+	// planned trajectories completed; the result aggregates the runs
+	// that did complete.
+	Interrupted bool
 	// Workers echoes the worker count used.
 	Workers int
 }
@@ -126,129 +202,6 @@ func (a *accumulator) merge(b *accumulator) {
 	}
 	a.fidelity += b.fidelity
 	a.runs += b.runs
-}
-
-// Run executes the stochastic simulation of circuit c on backends
-// produced by factory, with the given noise model.
-func Run(c *circuit.Circuit, factory sim.Factory, model noise.Model, opts Options) (*Result, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	opts.normalize()
-
-	start := time.Now()
-	var next atomic.Int64
-	var timedOut, failed atomic.Bool
-	deadline := time.Time{}
-	if opts.Timeout > 0 {
-		deadline = start.Add(opts.Timeout)
-	}
-
-	accs := make([]*accumulator, opts.Workers)
-	errs := make([]error, opts.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			acc := newAccumulator(len(opts.TrackStates))
-			accs[w] = acc
-			backend, err := factory(c)
-			if err != nil {
-				errs[w] = err
-				failed.Store(true) // stop siblings from spinning
-				return
-			}
-			hasMeasure := circuitMeasures(c)
-			clbits := make([]uint64, 1)
-			var snapper sim.Snapshotter
-			var ref sim.Snapshot
-			if opts.TrackFidelity {
-				s, ok := backend.(sim.Snapshotter)
-				if !ok {
-					errs[w] = fmt.Errorf("stochastic: backend %q cannot track fidelity", backend.Name())
-					failed.Store(true)
-					return
-				}
-				// Reference trajectory: same circuit, no noise, fixed
-				// seed so every worker derives the identical state.
-				runOne(backend, c, noise.Model{}, rand.New(rand.NewSource(opts.Seed)), clbits)
-				ref = s.Snapshot()
-				snapper = s
-			}
-			for {
-				if failed.Load() {
-					return
-				}
-				j := next.Add(1) - 1
-				if j >= int64(opts.Runs) {
-					return
-				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
-					timedOut.Store(true)
-					return
-				}
-				rng := rand.New(rand.NewSource(opts.Seed + j))
-				runOne(backend, c, model, rng, clbits)
-				acc.runs++
-				for s := 0; s < opts.Shots; s++ {
-					acc.counts[backend.SampleBasis(rng)]++
-				}
-				if hasMeasure {
-					acc.classical[clbits[0]]++
-				}
-				for i, idx := range opts.TrackStates {
-					acc.tracked[i] += backend.Probability(idx)
-				}
-				if snapper != nil {
-					acc.fidelity += snapper.FidelityTo(ref)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	if err := anyErr(errs); err != nil {
-		return nil, err
-	}
-
-	total := newAccumulator(len(opts.TrackStates))
-	for _, acc := range accs {
-		if acc != nil {
-			total.merge(acc)
-		}
-	}
-	if total.runs == 0 {
-		return nil, errors.New("stochastic: no runs completed within the budget")
-	}
-	res := &Result{
-		Runs:            total.runs,
-		Counts:          total.counts,
-		ClassicalCounts: total.classical,
-		TrackedProbs:    total.tracked,
-		Elapsed:         time.Since(start),
-		TimedOut:        timedOut.Load(),
-		Workers:         opts.Workers,
-	}
-	for i := range res.TrackedProbs {
-		res.TrackedProbs[i] /= float64(total.runs)
-	}
-	if opts.TrackFidelity {
-		res.MeanFidelity = total.fidelity / float64(total.runs)
-	}
-	return res, nil
-}
-
-func anyErr(errs []error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
 }
 
 func circuitMeasures(c *circuit.Circuit) bool {
@@ -341,6 +294,7 @@ func Deterministic(c *circuit.Circuit, factory sim.Factory, seed int64) (sim.Bac
 
 // Describe formats a one-line summary of a result for CLI output.
 func Describe(r *Result) string {
-	return fmt.Sprintf("runs=%d workers=%d elapsed=%s timed_out=%v distinct_outcomes=%d",
-		r.Runs, r.Workers, r.Elapsed.Round(time.Millisecond), r.TimedOut, len(r.Counts))
+	return fmt.Sprintf("runs=%d/%d workers=%d elapsed=%s radius=±%.4f timed_out=%v interrupted=%v distinct_outcomes=%d",
+		r.Runs, r.TargetRuns, r.Workers, r.Elapsed.Round(time.Millisecond),
+		r.ConfidenceRadius, r.TimedOut, r.Interrupted, len(r.Counts))
 }
