@@ -9,6 +9,16 @@
 //
 //	benchtab -table 1a
 //	benchtab -table all -runs 50 -budget 10s
+//
+// Adaptive stopping (-accuracy, with -confidence) sizes each cell by
+// the paper's Theorem 1 instead of always burning -runs trajectories:
+//
+//	benchtab -table 1b -runs 30000 -accuracy 0.05 -confidence 0.95
+//
+// Ctrl-C interrupts cleanly: finished cells keep their numbers,
+// interrupted cells are marked, and the exit status is 130. Unless
+// -quiet is set, a final telemetry digest (trajectories simulated,
+// decision-diagram table hit rates) is printed to stderr.
 package main
 
 import (
@@ -23,11 +33,12 @@ import (
 	"ddsim/internal/noise"
 	"ddsim/internal/qbench"
 	"ddsim/internal/sim"
+	"ddsim/internal/telemetry"
 )
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1a, 1b, 1c, all")
+		table      = flag.String("table", "all", "which table to regenerate: 1a, 1b, 1c, ext (extended families), all")
 		runs       = flag.Int("runs", 30, "stochastic runs per cell (paper: 30000)")
 		budget     = flag.Duration("budget", 0, "per-cell time budget (paper: 1h); 0 picks a default")
 		workers    = flag.Int("workers", 0, "concurrent workers (0 = all cores)")
@@ -86,6 +97,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown table %q (want 1a, 1b, 1c, ext, all)\n", *table)
 		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "telemetry: %s\n", telemetry.Summary())
 	}
 	if ctx.Err() != nil {
 		// Interrupted cells were reported as errors in the tables; make

@@ -1,0 +1,99 @@
+// Command ddsimd is the long-running stochastic-simulation service: an
+// HTTP/JSON API over the same Monte-Carlo engine the CLIs use, with
+// live telemetry in Prometheus text format.
+//
+// Endpoints:
+//
+//	POST   /jobs             submit a simulation job (JSON body below)
+//	GET    /jobs             list jobs, newest last
+//	GET    /jobs/{id}        job status; includes results once finished
+//	DELETE /jobs/{id}        cancel; completed trajectories are kept and
+//	                         returned as a partial result (Interrupted)
+//	GET    /jobs/{id}/events live progress stream (server-sent events:
+//	                         "progress" snapshots, then one "result")
+//	GET    /metrics          Prometheus metrics (jobs, trajectories,
+//	                         DD table hit rates, per-backend wall time)
+//	GET    /healthz          liveness probe
+//
+// A submission selects a circuit (inline OpenQASM 2.0 or a built-in
+// benchmark family), a backend, a noise point — optionally swept over
+// several scale factors through one shared worker pool — and the
+// engine options (runs, seed, shots, adaptive stopping, ...):
+//
+//	curl -s localhost:8344/jobs -d '{
+//	  "circuit": {"name": "ghz", "n": 16},
+//	  "backend": "dd",
+//	  "noise":   {"depolarizing": 0.001, "damping": 0.002,
+//	              "phase_flip": 0.001, "damping_as_event": true},
+//	  "options": {"runs": 2000, "seed": 1}
+//	}'
+//
+//	curl -s localhost:8344/jobs/j1
+//	curl -N localhost:8344/jobs/j1/events
+//	curl -s -X DELETE localhost:8344/jobs/j1
+//	curl -s localhost:8344/metrics
+//
+// Concurrency model: every job runs its noise points through one
+// shared worker pool of -workers goroutines (the engine's
+// BatchSimulate); at most -max-active jobs simulate at once and the
+// rest queue in submission order. Ctrl-C / SIGTERM drains cleanly:
+// running jobs are cancelled and report partial results.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8344", "listen address")
+		maxActive  = flag.Int("max-active", 2, "jobs simulating concurrently; further jobs queue")
+		workers    = flag.Int("workers", 0, "worker-pool size per job (0 = all cores)")
+		maxRuns    = flag.Int("max-runs", 10_000_000, "largest accepted per-point trajectory budget (0 = unlimited)")
+		maxJobs    = flag.Int("max-jobs", 256, "retained jobs; the oldest finished jobs (and their results) are evicted beyond this (0 = unlimited)")
+		maxPending = flag.Int("max-pending", 128, "unfinished jobs accepted before submissions are shed with 503 (0 = unlimited)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := newServer(ctx, *maxActive, *workers, *maxRuns)
+	s.maxJobs = *maxJobs
+	s.maxPending = *maxPending
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.handler(),
+		// No write timeout: /jobs/{id}/events streams indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ddsimd: listening on %s (max-active=%d workers=%d)\n",
+		*addr, *maxActive, *workers)
+
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, cancel jobs (ctx is the
+		// jobs' parent), wait for them to flush partial results.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		s.wait()
+		fmt.Fprintln(os.Stderr, "ddsimd: drained, bye")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ddsimd:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddsim"
+	"ddsim/internal/dd"
+	"ddsim/internal/qbench"
+	"ddsim/internal/telemetry"
+)
+
+// Request resource bounds: a submission is parsed and compiled
+// synchronously in the handler, so each input dimension needs a
+// ceiling before any allocation happens.
+const (
+	// maxBodyBytes caps the request body (inline QASM, sweep lists).
+	maxBodyBytes = 1 << 20
+	// maxQubits is the hard API ceiling (basis states are addressed
+	// with uint64 masks).
+	maxQubits = dd.MaxQubits
+	// maxDenseQubits bounds the dense baselines, which allocate 2^n
+	// amplitudes per worker (26 → 1 GiB per statevec worker).
+	maxDenseQubits = 26
+)
+
+// Job lifecycle states.
+const (
+	statusQueued    = "queued"    // accepted, waiting for an active-job slot
+	statusRunning   = "running"   // trajectories executing
+	statusDone      = "done"      // finished normally (possibly with per-point errors)
+	statusCancelled = "cancelled" // DELETE /jobs/{id} or server shutdown
+	statusFailed    = "failed"    // no point produced a result
+)
+
+// circuitSpec selects the circuit of a submission: either inline
+// OpenQASM 2.0 source or a named built-in benchmark family with a
+// qubit count (see qbench.BuiltinNames).
+type circuitSpec struct {
+	QASM string `json:"qasm,omitempty"`
+	Name string `json:"name,omitempty"`
+	N    int    `json:"n,omitempty"`
+}
+
+// jobSpec is the POST /jobs request body.
+type jobSpec struct {
+	Circuit circuitSpec `json:"circuit"`
+	// Backend selects the engine (dd, statevec, sparse); default dd.
+	Backend string `json:"backend,omitempty"`
+	// Noise is the base noise point; omitted means noise-free. Use
+	// {"depolarizing":0.001,"damping":0.002,"phase_flip":0.001,
+	// "damping_as_event":true} for the paper's rates.
+	Noise *ddsim.NoiseModel `json:"noise,omitempty"`
+	// Sweep, when non-empty, runs one simulation per scale factor
+	// applied to the base noise point — all points through one shared
+	// worker pool (BatchSimulate). Results are indexed like Sweep.
+	Sweep []float64 `json:"sweep,omitempty"`
+	// Options configures the Monte-Carlo engine (runs, seed, adaptive
+	// stopping, ...). The OnProgress callback is owned by the server
+	// and feeds the SSE event stream.
+	Options ddsim.Options `json:"options"`
+}
+
+// jobView is the JSON representation of a job returned by the API.
+type jobView struct {
+	ID        string          `json:"id"`
+	Status    string          `json:"status"`
+	Circuit   string          `json:"circuit"`
+	Qubits    int             `json:"qubits"`
+	Gates     int             `json:"gates"`
+	Backend   string          `json:"backend"`
+	Sweep     []float64       `json:"sweep,omitempty"`
+	Submitted time.Time       `json:"submitted_at"`
+	Started   *time.Time      `json:"started_at,omitempty"`
+	Finished  *time.Time      `json:"finished_at,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Progress  *ddsim.Progress `json:"progress,omitempty"`
+	Results   []*ddsim.Result `json:"results,omitempty"`
+}
+
+// job is one accepted submission and its lifecycle state.
+type job struct {
+	id      string
+	spec    jobSpec
+	circ    *ddsim.Circuit
+	models  []ddsim.NoiseModel
+	backend string
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	status    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  *ddsim.Progress
+	results   []*ddsim.Result
+	errMsg    string
+	subs      map[chan ddsim.Progress]struct{}
+	done      chan struct{} // closed on reaching a terminal status
+}
+
+// publish stores the latest progress snapshot and fans it out to SSE
+// subscribers without blocking the engine (slow subscribers drop
+// intermediate snapshots; the final state always arrives via done).
+func (j *job) publish(p ddsim.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := p
+	j.progress = &snap
+	for ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+func (j *job) subscribe() chan ddsim.Progress {
+	ch := make(chan ddsim.Progress, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan ddsim.Progress) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// view renders the job for the API. Results are included only when
+// requested (job detail), keeping list responses compact.
+func (j *job) view(includeResults bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:        j.id,
+		Status:    j.status,
+		Circuit:   j.circ.Name,
+		Qubits:    j.circ.NumQubits,
+		Gates:     j.circ.GateCount(),
+		Backend:   j.backend,
+		Sweep:     j.spec.Sweep,
+		Submitted: j.submitted,
+		Error:     j.errMsg,
+		Progress:  j.progress,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if includeResults {
+		v.Results = j.results
+	}
+	return v
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == statusDone || j.status == statusCancelled || j.status == statusFailed
+}
+
+// server owns the job table and the HTTP handlers of ddsimd.
+type server struct {
+	baseCtx    context.Context
+	workers    int           // shared-pool size per job (0 = GOMAXPROCS)
+	maxRuns    int           // per-point trajectory budget ceiling
+	maxJobs    int           // retained jobs; oldest finished are evicted
+	maxPending int           // admission cap on queued+running jobs
+	slots      chan struct{} // bounds concurrently simulating jobs
+
+	pending atomic.Int64 // jobs whose run goroutine has not finished
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for stable listings
+	next  int
+
+	wg sync.WaitGroup
+}
+
+// newServer creates a server whose jobs are children of ctx (cancel
+// ctx to abort everything, e.g. on shutdown). maxActive bounds the
+// number of concurrently simulating jobs, workers the per-job pool
+// size, and maxRuns the accepted per-point trajectory budget.
+func newServer(ctx context.Context, maxActive, workers, maxRuns int) *server {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	return &server{
+		baseCtx:    ctx,
+		workers:    workers,
+		maxRuns:    maxRuns,
+		maxJobs:    256,
+		maxPending: 128,
+		slots:      make(chan struct{}, maxActive),
+		jobs:       make(map[string]*job),
+	}
+}
+
+// handler returns the service's HTTP routing table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.Handle("GET /metrics", telemetry.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// wait blocks until every job goroutine has exited (call after
+// cancelling baseCtx during shutdown).
+func (s *server) wait() { s.wg.Wait() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolveCircuit builds the submission's circuit from inline QASM or a
+// built-in benchmark name.
+func resolveCircuit(spec circuitSpec) (*ddsim.Circuit, error) {
+	switch {
+	case spec.QASM != "" && spec.Name != "":
+		return nil, fmt.Errorf("circuit: qasm and name are mutually exclusive")
+	case spec.QASM != "":
+		return ddsim.ParseQASM("submitted", spec.QASM)
+	case spec.Name != "":
+		if spec.N < 1 {
+			return nil, fmt.Errorf("circuit: built-in %q needs a positive qubit count n", spec.Name)
+		}
+		b, err := qbench.ByName(spec.Name, spec.N)
+		if err != nil {
+			return nil, err
+		}
+		return b.Circuit, nil
+	default:
+		return nil, fmt.Errorf("circuit: either qasm or name is required")
+	}
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec jobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Bound the register before building anything: circuit
+	// construction is O(gates) and the handler runs it synchronously.
+	if spec.Circuit.N > maxQubits {
+		writeErr(w, http.StatusBadRequest, "circuit.n %d exceeds the %d-qubit limit",
+			spec.Circuit.N, maxQubits)
+		return
+	}
+	circ, err := resolveCircuit(spec.Circuit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if circ.NumQubits > maxQubits {
+		writeErr(w, http.StatusBadRequest, "circuit has %d qubits, limit is %d",
+			circ.NumQubits, maxQubits)
+		return
+	}
+	if spec.Backend == "" {
+		spec.Backend = ddsim.BackendDD
+	}
+	if _, err := ddsim.Factory(spec.Backend); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.Backend != ddsim.BackendDD && circ.NumQubits > maxDenseQubits {
+		writeErr(w, http.StatusBadRequest,
+			"backend %q allocates 2^n amplitudes per worker; %d qubits exceeds its %d-qubit limit",
+			spec.Backend, circ.NumQubits, maxDenseQubits)
+		return
+	}
+	base := ddsim.NoNoise()
+	if spec.Noise != nil {
+		base = *spec.Noise
+	}
+	models := []ddsim.NoiseModel{base}
+	if len(spec.Sweep) > 0 {
+		models = make([]ddsim.NoiseModel, len(spec.Sweep))
+		for i, scale := range spec.Sweep {
+			models[i] = base.Scale(scale)
+		}
+	}
+	for i, m := range models {
+		if err := m.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "noise point %d: %v", i, err)
+			return
+		}
+	}
+	if s.maxRuns > 0 && spec.Options.Runs > s.maxRuns {
+		writeErr(w, http.StatusBadRequest, "options.runs %d exceeds the server limit %d",
+			spec.Options.Runs, s.maxRuns)
+		return
+	}
+
+	// Admission control: beyond maxPending unfinished jobs, shed load
+	// instead of growing the queue (goroutines, contexts, job state)
+	// without bound.
+	if s.maxPending > 0 && s.pending.Load() >= int64(s.maxPending) {
+		writeErr(w, http.StatusServiceUnavailable,
+			"job queue full (%d unfinished jobs); retry later", s.maxPending)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		spec:      spec,
+		circ:      circ,
+		models:    models,
+		backend:   spec.Backend,
+		ctx:       ctx,
+		cancel:    cancel,
+		status:    statusQueued,
+		submitted: time.Now(),
+		subs:      make(map[chan ddsim.Progress]struct{}),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.next++
+	j.id = fmt.Sprintf("j%d", s.next)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	telemetry.JobsQueued.Inc()
+	s.pending.Add(1)
+	s.wg.Add(1)
+	go s.run(j)
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     j.id,
+		"status": statusQueued,
+		"links": map[string]string{
+			"self":   "/jobs/" + j.id,
+			"events": "/jobs/" + j.id + "/events",
+		},
+	})
+}
+
+// run drives one job through its lifecycle: wait for an active slot,
+// execute every noise point through one shared worker pool, record the
+// outcome. Cancelling the job context at any stage aborts cleanly —
+// while queued the job just flips to cancelled, while running the
+// engine returns the partial results with Interrupted set.
+func (s *server) run(j *job) {
+	defer s.wg.Done()
+	defer s.pending.Add(-1)
+	// Release the job's context registration in baseCtx once the job
+	// is over, whether or not anyone ever called DELETE.
+	defer j.cancel()
+	select {
+	case <-j.ctx.Done():
+		telemetry.JobsQueued.Dec()
+		j.complete(nil, nil)
+		return
+	case s.slots <- struct{}{}:
+	}
+	defer func() { <-s.slots }()
+
+	telemetry.JobsQueued.Dec()
+	telemetry.JobsRunning.Inc()
+	j.mu.Lock()
+	j.status = statusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	batch := make([]ddsim.BatchJob, len(j.models))
+	for i, m := range j.models {
+		opts := j.spec.Options
+		opts.OnProgress = j.publish // Progress.Job = noise-point index
+		batch[i] = ddsim.BatchJob{Circuit: j.circ, Model: m, Opts: opts}
+	}
+	results, err := ddsim.BatchSimulate(j.ctx, j.backend, batch, s.workers)
+	telemetry.JobsRunning.Dec()
+	j.complete(results, err)
+}
+
+// complete records the terminal state of a job and wakes up every
+// event stream. A cancelled job keeps whatever partial results the
+// engine aggregated (their Interrupted flag is set by the engine). A
+// cancellation that raced the natural end of the simulation — every
+// point finished, nothing interrupted — still counts as done.
+func (j *job) complete(results []*ddsim.Result, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.results = results
+	switch {
+	case err == nil && allResultsClean(results):
+		j.status = statusDone
+	case j.ctx.Err() != nil:
+		j.status = statusCancelled
+	case err != nil && !anyResult(results):
+		j.status = statusFailed
+	default:
+		j.status = statusDone
+	}
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	telemetry.JobsDone.With(j.status).Inc()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// allResultsClean reports whether every point produced a result and
+// none was cut short by cancellation.
+func allResultsClean(results []*ddsim.Result) bool {
+	if len(results) == 0 {
+		return false
+	}
+	for _, r := range results {
+		if r == nil || r.Interrupted {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneLocked evicts the oldest finished jobs (and their retained
+// results) once more than maxJobs are tracked. Queued and running
+// jobs are never evicted — their population is bounded separately by
+// the maxPending admission check — so a long-lived server stays at
+// bounded memory. Caller holds s.mu.
+func (s *server) pruneLocked() {
+	if s.maxJobs <= 0 || len(s.order) <= s.maxJobs {
+		return
+	}
+	excess := len(s.order) - s.maxJobs
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j.terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func anyResult(results []*ddsim.Result) bool {
+	for _, r := range results {
+		if r != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	// Snapshot the job pointers in one critical section: a concurrent
+	// submission may prune entries from s.jobs, but the job objects
+	// themselves stay valid.
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]jobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.terminal() {
+		writeJSON(w, http.StatusOK, j.view(true))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": "cancelling"})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"jobs":         n,
+		"jobs_queued":  telemetry.JobsQueued.Value(),
+		"jobs_running": telemetry.JobsRunning.Value(),
+	})
+}
+
+// handleEvents streams a job's Progress snapshots as server-sent
+// events: zero or more "progress" events (the latest snapshot is
+// replayed on subscription, so every consumer sees at least one for a
+// job that ran) followed by exactly one "result" event carrying the
+// final job view, after which the stream closes.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	sub := j.subscribe()
+	defer j.unsubscribe(sub)
+
+	// Replay the latest snapshot so late subscribers still observe
+	// progress before the result.
+	j.mu.Lock()
+	last := j.progress
+	j.mu.Unlock()
+	if last != nil {
+		if !send("progress", *last) {
+			return
+		}
+	}
+	for {
+		select {
+		case p := <-sub:
+			if !send("progress", p) {
+				return
+			}
+		case <-j.done:
+			send("result", j.view(true))
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -5,9 +5,11 @@
 //	ddview -fig 1b   # matrix DD of Z on q0 of a 2-qubit register
 //	ddview -fig 1c   # the two amplitude-damping branch states (Example 6)
 //
-// or renders the final state of a circuit:
+// or renders the final state of a circuit — any built-in benchmark
+// family (see -circuit) or an OpenQASM 2.0 file:
 //
 //	ddview -circuit ghz -n 6
+//	ddview -circuit qft -n 4
 //	ddview -qasm file.qasm
 //
 // Pipe the output to `dot -Tsvg` to render.
@@ -18,17 +20,19 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"ddsim"
 	"ddsim/internal/circuit"
 	"ddsim/internal/dd"
 	"ddsim/internal/ddback"
+	"ddsim/internal/qbench"
 )
 
 func main() {
 	var (
 		fig      = flag.String("fig", "", "paper figure to reproduce: 1a, 1b, 1c")
-		circName = flag.String("circuit", "", "built-in circuit: ghz, qft")
+		circName = flag.String("circuit", "", "built-in circuit: "+strings.Join(qbench.BuiltinNames(), ", "))
 		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 file")
 		n        = flag.Int("n", 4, "qubit count for built-in circuits")
 		damp     = flag.Float64("p", 0.3, "damping probability for -fig 1c")
@@ -90,12 +94,15 @@ func printCircuitState(name, qasmPath string, n int) {
 	switch {
 	case qasmPath != "":
 		circ, err = ddsim.ParseQASMFile(qasmPath)
-	case name == "ghz":
-		circ = ddsim.GHZ(n)
-	case name == "qft":
+	case strings.ToLower(name) == "qft":
+		// Keep the historical single-excitation input: it draws a
+		// small, readable diagram.
 		circ = circuit.QFTWithInput(n, 1)
 	default:
-		err = fmt.Errorf("unknown circuit %q", name)
+		var b qbench.Benchmark
+		if b, err = qbench.ByName(name, n); err == nil {
+			circ = b.Circuit
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddview:", err)

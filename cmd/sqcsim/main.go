@@ -19,8 +19,16 @@
 //
 //	sqcsim -circuit ghz -n 12 -runs 2000 -sweep 0,1,2,5,10
 //
+// -progress prints periodic progress lines (runs completed, current
+// Theorem-1 confidence radius) to stderr while simulating, plus a
+// final telemetry digest (trajectories, decision-diagram table hit
+// rates, garbage collections):
+//
+//	sqcsim -circuit qft -n 16 -runs 5000 -progress
+//
 // A running simulation can be interrupted with Ctrl-C: the completed
-// trajectories are aggregated and reported as a partial result.
+// trajectories are aggregated and reported as a partial result. For a
+// long-lived simulation service with the same engine, see ddsimd.
 package main
 
 import (
@@ -36,12 +44,13 @@ import (
 	"ddsim"
 	"ddsim/internal/qbench"
 	"ddsim/internal/stochastic"
+	"ddsim/internal/telemetry"
 )
 
 func main() {
 	var (
 		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
-		name       = flag.String("circuit", "", "built-in circuit: ghz, qft, bv, ising, vqe_uccsd, sat, seca, multiplier, bigadder, cc, basis_trotter")
+		name       = flag.String("circuit", "", "built-in circuit: "+strings.Join(qbench.BuiltinNames(), ", "))
 		n          = flag.Int("n", 8, "qubit count for built-in circuits")
 		backend    = flag.String("backend", ddsim.BackendDD, "simulation backend: dd, statevec, sparse")
 		runs       = flag.Int("runs", 1000, "trajectory budget M (exact run count unless -accuracy is set)")
@@ -58,7 +67,7 @@ func main() {
 		fidelity   = flag.Bool("fidelity", false, "also estimate fidelity with the noise-free output state")
 		accuracy   = flag.Float64("accuracy", 0, "adaptive stopping: stop once Theorem 1 guarantees this accuracy ε (0 = always run the full budget)")
 		confidence = flag.Float64("confidence", 0.95, "confidence level 1−δ for -accuracy and the reported radius")
-		progress   = flag.Bool("progress", false, "print periodic progress lines while simulating")
+		progress   = flag.Bool("progress", false, "print periodic progress lines and a final telemetry digest to stderr")
 		sweep      = flag.String("sweep", "", "noise sweep: comma-separated multiples of the base noise point, e.g. 0,1,2,5,10 (batch mode, one shared worker pool)")
 	)
 	flag.Parse()
@@ -99,6 +108,9 @@ func main() {
 			fatal(err)
 		}
 		runSweep(ctx, circ, *backend, model, opts, scales, *workers)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "telemetry: %s\n", telemetry.Summary())
+		}
 		return
 	}
 
@@ -136,6 +148,9 @@ func main() {
 	}
 	fmt.Println()
 	printHistogram(res, circ.NumQubits, *top)
+	if *progress {
+		fmt.Fprintf(os.Stderr, "telemetry: %s\n", telemetry.Summary())
+	}
 }
 
 // runSweep simulates the circuit at every multiple of the base noise
@@ -226,34 +241,14 @@ func loadCircuit(qasmPath, name string, n int) (*ddsim.Circuit, error) {
 	if qasmPath != "" {
 		return ddsim.ParseQASMFile(qasmPath)
 	}
-	switch strings.ToLower(name) {
-	case "ghz", "entanglement":
-		return ddsim.GHZ(n), nil
-	case "qft":
-		return qbench.QFT(n).Circuit, nil
-	case "bv":
-		return qbench.BV(n).Circuit, nil
-	case "ising":
-		return qbench.Ising(n, 30).Circuit, nil
-	case "vqe_uccsd":
-		return qbench.VQEUCCSD(n, 60).Circuit, nil
-	case "sat":
-		return qbench.SAT(n).Circuit, nil
-	case "seca":
-		return qbench.SECA(n).Circuit, nil
-	case "multiplier":
-		return qbench.Multiplier(n).Circuit, nil
-	case "bigadder":
-		return qbench.BigAdder(n).Circuit, nil
-	case "cc":
-		return qbench.CC(n).Circuit, nil
-	case "basis_trotter":
-		return qbench.BasisTrotter(n, 400).Circuit, nil
-	case "":
+	if name == "" {
 		return nil, fmt.Errorf("either -qasm or -circuit is required")
-	default:
-		return nil, fmt.Errorf("unknown built-in circuit %q", name)
 	}
+	b, err := qbench.ByName(name, n)
+	if err != nil {
+		return nil, err
+	}
+	return b.Circuit, nil
 }
 
 func printHistogram(res *ddsim.Result, n, top int) {

@@ -64,6 +64,17 @@
 //
 // Each job's result is bit-identical to a standalone Simulate call
 // with the same seed.
+//
+// # Tools, service and telemetry
+//
+// Beyond the library, the module ships cmd/sqcsim (one-shot CLI with
+// sweeps and adaptive stopping), cmd/benchtab (regenerates the
+// paper's evaluation tables), cmd/ddview (decision diagrams as
+// Graphviz DOT) and cmd/ddsimd — a long-running HTTP/JSON service
+// exposing job submission, server-sent progress events, cancellation
+// with partial results, and Prometheus metrics (trajectory
+// throughput, per-backend wall time, decision-diagram table hit
+// rates) at /metrics. See README.md and docs/ARCHITECTURE.md.
 package ddsim
 
 import (

@@ -236,6 +236,47 @@ type Package struct {
 	gcRuns       int
 
 	peakVNodes int
+
+	// Table-activity counters (plain ints — a Package is
+	// single-goroutine by design). Unique-table lookups/hits count
+	// makeVNode/makeMNode hash-consing probes; compute lookups/hits
+	// count probes of every memoisation cache (add, multiply, kron,
+	// dot, conjugate-transpose, norm and probability).
+	uLookups, uHits uint64
+	cLookups, cHits uint64
+}
+
+// Stats is a snapshot of a package's table statistics — the inputs to
+// the paper's compactness discussion (node counts) and to the
+// cache-effectiveness telemetry (hit rates).
+type Stats struct {
+	// VNodes and MNodes are the live unique-table populations;
+	// Weights is the interned edge-weight count.
+	VNodes, MNodes, Weights int
+	// NodesCreated counts vector nodes ever created, PeakVNodes the
+	// high-water mark of the live population, GCRuns the collections.
+	NodesCreated, PeakVNodes, GCRuns int
+	// UniqueLookups/UniqueHits: hash-consing probes that found an
+	// existing node. ComputeLookups/ComputeHits: memoisation-cache
+	// probes that hit.
+	UniqueLookups, UniqueHits   uint64
+	ComputeLookups, ComputeHits uint64
+}
+
+// Stats returns the package's current table statistics.
+func (p *Package) Stats() Stats {
+	return Stats{
+		VNodes:         p.vCount,
+		MNodes:         p.mCount,
+		Weights:        p.W.Count(),
+		NodesCreated:   p.NodesCreated(),
+		PeakVNodes:     p.peakVNodes,
+		GCRuns:         p.gcRuns,
+		UniqueLookups:  p.uLookups,
+		UniqueHits:     p.uHits,
+		ComputeLookups: p.cLookups,
+		ComputeHits:    p.cHits,
+	}
 }
 
 // NewPackage creates a package for registers of exactly n qubits
@@ -367,10 +408,12 @@ func (p *Package) makeVNode(level int, e0, e1 VEdge) VEdge {
 	w0 := p.W.Div(e0.W, top)
 	w1 := p.W.Div(e1.W, top)
 
+	p.uLookups++
 	idx := p.vBucketIndex(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
 	for n := p.vBuckets[idx]; n != nil; n = n.next {
 		if n.Level == level && n.E[0].N == e0.N && n.E[0].W == w0 &&
 			n.E[1].N == e1.N && n.E[1].W == w1 {
+			p.uHits++
 			return VEdge{N: n, W: top}
 		}
 	}
@@ -432,9 +475,11 @@ func (p *Package) makeMNode(level int, e [4]MEdge) MEdge {
 		norm[i] = MEdge{N: e[i].N, W: p.W.Div(e[i].W, top)}
 	}
 
+	p.uLookups++
 	idx := p.mBucketIndex(level, norm)
 	for n := p.mBuckets[idx]; n != nil; n = n.next {
 		if n.Level == level && n.E == norm {
+			p.uHits++
 			return MEdge{N: n, W: top}
 		}
 	}

@@ -635,7 +635,7 @@ func containsStr(s, sub string) bool {
 func TestStats(t *testing.T) {
 	p := NewPackage(2)
 	_ = bellState(p)
-	if s := p.Stats(); !containsStr(s, "qubits=2") {
+	if s := p.Describe(); !containsStr(s, "qubits=2") {
 		t.Errorf("Stats = %q", s)
 	}
 }

@@ -226,8 +226,10 @@ func (p *Package) DOTMatrix(e MEdge) string {
 	return b.String()
 }
 
-// Stats summarises the package state for diagnostics.
-func (p *Package) Stats() string {
+// Describe summarises the package state as a human-readable line for
+// diagnostics; Stats returns the same information (and the table
+// hit-rate counters) in structured form.
+func (p *Package) Describe() string {
 	return fmt.Sprintf("qubits=%d vnodes=%d mnodes=%d peak_vnodes=%d weights=%d gc_runs=%d",
 		p.nQubits, p.vCount, p.mCount, p.peakVNodes, p.W.Count(), p.gcRuns)
 }

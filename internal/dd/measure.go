@@ -17,9 +17,11 @@ func (p *Package) nodeNorm2(n *VNode) float64 {
 	if n == nil {
 		return 1
 	}
+	p.cLookups++
 	idx := mixHash(uint64(n.id), 41) & (1<<norm2CacheBits - 1)
 	ent := &p.norm2Cache[idx]
 	if ent.n == n {
+		p.cHits++
 		return ent.v
 	}
 	r := n.E[0].W.Mag2()*p.nodeNorm2(n.E[0].N) +
@@ -62,9 +64,11 @@ func (p *Package) probOneNode(n *VNode, level int) float64 {
 	if n.Level < level {
 		panic("dd: probOneNode descended past target level")
 	}
+	p.cLookups++
 	idx := mixHash(uint64(n.id), uint64(level), 43) & (1<<probCacheBits - 1)
 	ent := &p.probCache[idx]
 	if ent.n == n && int(ent.level) == level {
+		p.cHits++
 		return ent.v
 	}
 	r := n.E[0].W.Mag2()*p.probOneNode(n.E[0].N, level) +

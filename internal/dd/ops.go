@@ -36,9 +36,11 @@ func (p *Package) Add(a, b VEdge) VEdge {
 	}
 
 	bw := p.W.Div(b.W, a.W)
+	p.cLookups++
 	idx := mixHash(uint64(a.N.id), uint64(b.N.id), uint64(bw.ID())) & (1<<addCacheBits - 1)
 	ent := &p.addCache[idx]
 	if ent.a == a.N && ent.b == b.N && ent.bw == bw {
+		p.cHits++
 		return p.scaleV(ent.r, a.W)
 	}
 
@@ -75,9 +77,11 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 	}
 
 	bw := p.W.Div(b.W, a.W)
+	p.cLookups++
 	idx := mixHash(uint64(a.N.id), uint64(b.N.id), uint64(bw.ID())) & (1<<mmCacheBits - 1)
 	ent := &p.maddCache[idx]
 	if ent.a == a.N && ent.b == b.N && ent.bw == bw {
+		p.cHits++
 		return p.scaleM(ent.r, a.W)
 	}
 
@@ -114,9 +118,11 @@ func (p *Package) MulMV(m MEdge, v VEdge) VEdge {
 		panic(fmt.Sprintf("dd: MulMV level mismatch (%d vs %d)", m.N.Level, v.N.Level))
 	}
 
+	p.cLookups++
 	idx := mixHash(uint64(m.N.id), uint64(v.N.id)) & (1<<mvCacheBits - 1)
 	ent := &p.mvCache[idx]
 	if ent.m == m.N && ent.v == v.N {
+		p.cHits++
 		return p.scaleV(ent.r, w)
 	}
 
@@ -149,9 +155,11 @@ func (p *Package) MulMM(a, b MEdge) MEdge {
 		panic("dd: MulMM level mismatch")
 	}
 
+	p.cLookups++
 	idx := mixHash(uint64(a.N.id), uint64(b.N.id), 7) & (1<<mmCacheBits - 1)
 	ent := &p.mmCache[idx]
 	if ent.a == a.N && ent.b == b.N {
+		p.cHits++
 		return p.scaleM(ent.r, w)
 	}
 
@@ -180,9 +188,11 @@ func (p *Package) Kron(a, b MEdge) MEdge {
 	}
 	bTop := b.Level()
 
+	p.cLookups++
 	idx := mixHash(uint64(a.N.id), uint64(mid(b.N)), uint64(b.W.ID()), 13) & (1<<kronCacheBits - 1)
 	ent := &p.kronCache[idx]
 	if ent.a == a.N && ent.b == b.N && ent.bw == b.W {
+		p.cHits++
 		return p.scaleM(ent.r, a.W)
 	}
 
@@ -219,9 +229,11 @@ func (p *Package) Dot(a, b VEdge) complex128 {
 		panic("dd: Dot of vectors with different levels")
 	}
 
+	p.cLookups++
 	idx := mixHash(uint64(a.N.id), uint64(b.N.id), 29) & (1<<dotCacheBits - 1)
 	ent := &p.dotCache[idx]
 	if ent.ok && ent.a == a.N && ent.b == b.N {
+		p.cHits++
 		return w * ent.r
 	}
 	r := p.Dot(a.N.E[0], b.N.E[0]) + p.Dot(a.N.E[1], b.N.E[1])
@@ -243,9 +255,11 @@ func (p *Package) ConjugateTranspose(m MEdge) MEdge {
 		return MEdge{N: nil, W: p.W.Conj(m.W)}
 	}
 	w := p.W.Conj(m.W)
+	p.cLookups++
 	idx := mixHash(uint64(m.N.id), 31) & (1<<ctCacheBits - 1)
 	ent := &p.ctCache[idx]
 	if ent.m == m.N {
+		p.cHits++
 		return p.scaleM(ent.r, w)
 	}
 	var kids [4]MEdge

@@ -1,0 +1,41 @@
+package dd
+
+import "testing"
+
+// TestStatsCounters checks that table activity shows up in Stats: a
+// GHZ-style construction performs unique-table and compute-cache
+// probes, and repeating the same products hits the caches.
+func TestStatsCounters(t *testing.T) {
+	p := NewPackage(3)
+	x := Mat2{{0, 1}, {1, 0}}
+	g0 := p.SingleQubitGate(matH, 0)
+	g1 := p.ControlledGate(x, 1, []Control{{Qubit: 0}})
+	g2 := p.ControlledGate(x, 2, []Control{{Qubit: 1}})
+
+	e := p.ZeroState()
+	for _, g := range []MEdge{g0, g1, g2} {
+		e = p.MulMV(g, e)
+	}
+	s := p.Stats()
+	if s.UniqueLookups == 0 {
+		t.Fatal("no unique-table lookups recorded")
+	}
+	if s.ComputeLookups == 0 {
+		t.Fatal("no compute-table lookups recorded")
+	}
+	if s.NodesCreated == 0 || s.VNodes == 0 {
+		t.Fatalf("node counters empty: %+v", s)
+	}
+	if s.UniqueHits > s.UniqueLookups || s.ComputeHits > s.ComputeLookups {
+		t.Fatalf("hits exceed lookups: %+v", s)
+	}
+
+	// Re-applying the same gate to the same state must hit the
+	// memoised MulMV entry.
+	before := p.Stats()
+	p.MulMV(g2, e)
+	after := p.Stats()
+	if after.ComputeHits <= before.ComputeHits {
+		t.Fatalf("repeated MulMV did not hit the compute cache: before=%+v after=%+v", before, after)
+	}
+}

@@ -211,6 +211,21 @@ func (b *Backend) Package() *dd.Package { return b.pkg }
 // paper's compactness measure.
 func (b *Backend) NodeCount() int { return b.pkg.NodeCount(b.state) }
 
+// TableStats implements sim.TableStatser with the underlying DD
+// package's unique- and compute-table counters.
+func (b *Backend) TableStats() sim.TableStats {
+	s := b.pkg.Stats()
+	return sim.TableStats{
+		UniqueLookups:  int64(s.UniqueLookups),
+		UniqueHits:     int64(s.UniqueHits),
+		ComputeLookups: int64(s.ComputeLookups),
+		ComputeHits:    int64(s.ComputeHits),
+		NodesCreated:   int64(s.NodesCreated),
+		PeakNodes:      int64(s.PeakVNodes),
+		GCRuns:         int64(s.GCRuns),
+	}
+}
+
 // Snapshot implements sim.Snapshotter: the state edge is pinned
 // against garbage collection and returned as the handle.
 func (b *Backend) Snapshot() sim.Snapshot {

@@ -24,14 +24,15 @@ import (
 )
 
 // Model holds the three per-gate/per-qubit error probabilities.
-// The zero Model is noise-free.
+// The zero Model is noise-free. The struct marshals to JSON for the
+// ddsimd job API.
 type Model struct {
 	// Depolarizing is the gate-error probability (paper: 0.1 %).
-	Depolarizing float64
+	Depolarizing float64 `json:"depolarizing,omitempty"`
 	// Damping is the amplitude-damping (T1) probability (paper: 0.2 %).
-	Damping float64
+	Damping float64 `json:"damping,omitempty"`
 	// PhaseFlip is the phase-flip (T2) probability (paper: 0.1 %).
-	PhaseFlip float64
+	PhaseFlip float64 `json:"phase_flip,omitempty"`
 	// DampingAsEvent selects between the two T1 semantics the paper
 	// describes:
 	//
@@ -52,7 +53,7 @@ type Model struct {
 	// exact-channel form deforms every touched qubit on every gate,
 	// which destroys product structure and blows decision diagrams up
 	// even on structure-friendly circuits such as Bernstein–Vazirani.
-	DampingAsEvent bool
+	DampingAsEvent bool `json:"damping_as_event,omitempty"`
 }
 
 // PaperDefaults returns the error rates used throughout the paper's

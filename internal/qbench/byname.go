@@ -1,0 +1,61 @@
+package qbench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BuiltinNames lists the benchmark families resolvable by ByName, in
+// presentation order.
+func BuiltinNames() []string {
+	return []string{
+		"ghz", "qft", "bv", "ising", "vqe_uccsd", "sat", "seca",
+		"multiplier", "bigadder", "cc", "basis_trotter",
+		"wstate", "deutsch_jozsa", "qpe", "qaoa",
+	}
+}
+
+// ByName resolves a built-in benchmark circuit by family name and
+// qubit count, using the same depth defaults as the CLIs (Ising: 30
+// Trotter steps, VQE-UCCSD: 60 layers, basis_trotter: 400 steps,
+// QAOA: 3 layers). Names are case-insensitive; "entanglement" is an
+// alias for "ghz" and "dj" for "deutsch_jozsa". The shared resolver
+// keeps sqcsim and the ddsimd service accepting exactly the same
+// circuit vocabulary.
+func ByName(name string, n int) (Benchmark, error) {
+	switch strings.ToLower(name) {
+	case "ghz", "entanglement":
+		return GHZ(n), nil
+	case "qft":
+		return QFT(n), nil
+	case "bv":
+		return BV(n), nil
+	case "ising":
+		return Ising(n, 30), nil
+	case "vqe_uccsd":
+		return VQEUCCSD(n, 60), nil
+	case "sat":
+		return SAT(n), nil
+	case "seca":
+		return SECA(n), nil
+	case "multiplier":
+		return Multiplier(n), nil
+	case "bigadder":
+		return BigAdder(n), nil
+	case "cc":
+		return CC(n), nil
+	case "basis_trotter":
+		return BasisTrotter(n, 400), nil
+	case "wstate":
+		return WState(n), nil
+	case "deutsch_jozsa", "dj":
+		return DeutschJozsa(n), nil
+	case "qpe":
+		return QPE(n), nil
+	case "qaoa":
+		return QAOAMaxCut(n, 3), nil
+	default:
+		return Benchmark{}, fmt.Errorf("qbench: unknown circuit %q (want one of %s)",
+			name, strings.Join(BuiltinNames(), ", "))
+	}
+}

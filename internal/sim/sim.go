@@ -87,6 +87,33 @@ type Backend interface {
 	Norm2() float64
 }
 
+// TableStats describes the decision-diagram table activity of a
+// backend instance: hash-consing (unique-table) and memoisation
+// (compute-table) lookups and hits, node construction work and
+// garbage collections. Values are cumulative over the instance's
+// lifetime; telemetry consumers report deltas between snapshots.
+type TableStats struct {
+	// UniqueLookups/UniqueHits: hash-consing probes / probes that
+	// found an existing node.
+	UniqueLookups, UniqueHits int64
+	// ComputeLookups/ComputeHits: memoisation-cache probes / hits.
+	ComputeLookups, ComputeHits int64
+	// NodesCreated counts vector nodes ever created.
+	NodesCreated int64
+	// PeakNodes is the high-water mark of live vector nodes.
+	PeakNodes int64
+	// GCRuns counts decision-diagram garbage collections.
+	GCRuns int64
+}
+
+// TableStatser is an optional backend capability: exposing
+// decision-diagram table statistics for telemetry. Only the DD backend
+// implements it; dense baselines have no tables to report.
+type TableStatser interface {
+	// TableStats returns cumulative table statistics for this instance.
+	TableStats() TableStats
+}
+
 // Snapshotter is an optional backend capability: capturing the current
 // state and later computing the fidelity |⟨snapshot|ψ⟩|² against it.
 // The stochastic driver uses it to estimate the paper's flagship

@@ -13,6 +13,7 @@ import (
 	"ddsim/internal/noise"
 	"ddsim/internal/obs"
 	"ddsim/internal/sim"
+	"ddsim/internal/telemetry"
 )
 
 const (
@@ -30,26 +31,27 @@ type Job struct {
 }
 
 // Progress is a periodic snapshot of a running job, delivered to
-// Options.OnProgress.
+// Options.OnProgress. It marshals to JSON for the ddsimd event stream
+// (Elapsed is serialised as nanoseconds).
 type Progress struct {
 	// Job is the index of the job within the batch (0 for Run).
-	Job int
+	Job int `json:"job"`
 	// Done is the number of completed trajectories.
-	Done int
+	Done int `json:"done"`
 	// Target is the number of planned trajectories (after the adaptive
 	// stopping rule, if enabled).
-	Target int
+	Target int `json:"target"`
 	// TrackedProbs are the running estimates ô_l for
 	// Options.TrackStates (aggregation order varies with scheduling;
 	// final results are reduced deterministically instead).
-	TrackedProbs []float64
+	TrackedProbs []float64 `json:"tracked_probs,omitempty"`
 	// MeanFidelity is the running fidelity estimate, when tracked.
-	MeanFidelity float64
+	MeanFidelity float64 `json:"mean_fidelity,omitempty"`
 	// ConfidenceRadius is the Theorem-1 accuracy guaranteed by the
 	// Done runs completed so far (obs.ConfidenceRadius).
-	ConfidenceRadius float64
+	ConfidenceRadius float64 `json:"confidence_radius"`
 	// Elapsed is the wall-clock time since the engine started.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Run executes the stochastic simulation of circuit c on backends
@@ -231,9 +233,10 @@ type engine struct {
 	start   time.Time
 	ctx     context.Context
 
-	mu     sync.Mutex
-	cur    int  // first job that may still have undispatched chunks
-	cbBusy bool // a progress callback is in flight (see commit)
+	mu          sync.Mutex
+	cur         int    // first job that may still have undispatched chunks
+	cbBusy      bool   // a progress callback is in flight (see commit)
+	backendName string // engine name, captured at first compile (telemetry)
 }
 
 // compiled is a worker-private backend instance for one job, created
@@ -243,6 +246,29 @@ type compiled struct {
 	snapper sim.Snapshotter
 	ref     sim.Snapshot
 	clbits  []uint64
+	// lastStats is the table-stat snapshot at the last telemetry
+	// report; reportTableStats pushes the delta since then.
+	lastStats sim.TableStats
+}
+
+// reportTableStats pushes the growth of a backend's decision-diagram
+// table counters since the last report into the process telemetry.
+// Backends without tables (sim.TableStatser not implemented) are
+// skipped.
+func (wb *compiled) reportTableStats() {
+	ts, ok := wb.backend.(sim.TableStatser)
+	if !ok {
+		return
+	}
+	cur, prev := ts.TableStats(), wb.lastStats
+	wb.lastStats = cur
+	telemetry.DDUniqueLookups.Add(cur.UniqueLookups - prev.UniqueLookups)
+	telemetry.DDUniqueHits.Add(cur.UniqueHits - prev.UniqueHits)
+	telemetry.DDComputeLookups.Add(cur.ComputeLookups - prev.ComputeLookups)
+	telemetry.DDComputeHits.Add(cur.ComputeHits - prev.ComputeHits)
+	telemetry.DDNodesCreated.Add(cur.NodesCreated - prev.NodesCreated)
+	telemetry.DDGCRuns.Add(cur.GCRuns - prev.GCRuns)
+	telemetry.DDPeakNodes.SetMax(cur.PeakNodes)
 }
 
 func (e *engine) worker() {
@@ -309,6 +335,11 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
+	if e.backendName == "" {
+		e.backendName = backend.Name()
+	}
+	e.mu.Unlock()
 	wb := &compiled{backend: backend, clbits: make([]uint64, 1)}
 	if js.job.Opts.TrackFidelity {
 		s, ok := backend.(sim.Snapshotter)
@@ -366,6 +397,7 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 		}
 	}
 	e.commit(js, acc, first, deadlineHit)
+	wb.reportTableStats()
 }
 
 // commit stores a chunk's accumulator and fires the progress callback
@@ -377,6 +409,7 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 // advances when a callback actually fires (finish delivers the final
 // snapshot unconditionally).
 func (e *engine) commit(js *jobState, acc *accumulator, first int, deadlineHit bool) {
+	telemetry.Trajectories.Add(int64(acc.runs))
 	e.mu.Lock()
 	js.chunks[first/js.job.Opts.ChunkSize] = acc
 	js.done += acc.runs
@@ -485,5 +518,9 @@ func (e *engine) finish(js *jobState) (*Result, error) {
 	if js.job.Opts.TrackFidelity {
 		res.MeanFidelity = total.fidelity / float64(total.runs)
 	}
+	// Runs > 0 implies at least one chunk ran, so a backend was
+	// compiled and backendName is set.
+	telemetry.BackendSeconds.With(e.backendName).Add(res.Elapsed.Seconds())
+	telemetry.BackendJobs.With(e.backendName).Inc()
 	return res, nil
 }

@@ -24,33 +24,35 @@ import (
 	"ddsim/internal/sim"
 )
 
-// Options configures a stochastic simulation.
+// Options configures a stochastic simulation. The struct marshals to
+// JSON (ddsimd job submissions): durations are serialised as
+// nanoseconds and the OnProgress callback is excluded.
 type Options struct {
 	// Runs is the trajectory budget M (paper: 30000). With adaptive
 	// stopping enabled it is an upper bound; otherwise exactly Runs
 	// trajectories execute.
-	Runs int
+	Runs int `json:"runs,omitempty"`
 	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
 	// Ignored by RunBatch, which sizes one shared pool for all jobs.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// Seed makes the whole simulation deterministic: run j uses an RNG
 	// seeded with Seed+j regardless of which worker executes it, so
 	// results are bit-identical across worker counts.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Shots is the number of basis-state samples drawn from each final
 	// state (default 1).
-	Shots int
+	Shots int `json:"shots,omitempty"`
 	// TrackStates lists basis states |ω_l⟩ whose outcome probabilities
 	// are estimated as empirical averages (the paper's ô_l).
-	TrackStates []uint64
+	TrackStates []uint64 `json:"track_states,omitempty"`
 	// TrackFidelity additionally estimates the fidelity of each noisy
 	// final state with the noise-free final state — the paper's other
 	// flagship quadratic property. Requires a backend implementing
 	// sim.Snapshotter (all bundled backends except the sparse one do).
-	TrackFidelity bool
+	TrackFidelity bool `json:"track_fidelity,omitempty"`
 	// Timeout, when positive, stops issuing new runs once exceeded.
 	// Completed runs still aggregate; Result.TimedOut is set.
-	Timeout time.Duration
+	Timeout time.Duration `json:"timeout_ns,omitempty"`
 
 	// TargetAccuracy, when positive, enables adaptive stopping: the
 	// engine stops issuing trajectories as soon as Theorem 1 guarantees
@@ -59,22 +61,23 @@ type Options struct {
 	// the Hoeffding bound is distribution-free, the required run count
 	// M(ε, δ, L) = obs.SampleCount is known upfront; if it exceeds
 	// Runs, all Runs execute and Result.BudgetExhausted is set.
-	TargetAccuracy float64
+	TargetAccuracy float64 `json:"target_accuracy,omitempty"`
 	// TargetConfidence is the confidence level 1−δ of the adaptive
 	// stopping rule and of Result.ConfidenceRadius (default 0.95).
-	TargetConfidence float64
+	TargetConfidence float64 `json:"target_confidence,omitempty"`
 
 	// OnProgress, when set, receives periodic snapshots (every
 	// ProgressEvery completed runs, and once at job completion) from
 	// worker goroutines. Calls are serialised; keep the callback fast.
-	OnProgress func(Progress)
+	// Not part of the JSON wire format.
+	OnProgress func(Progress) `json:"-"`
 	// ProgressEvery is the number of completed runs between OnProgress
 	// calls (default 512).
-	ProgressEvery int
+	ProgressEvery int `json:"progress_every,omitempty"`
 	// ChunkSize is the number of trajectories a worker claims per
 	// dequeue (default 64). Chunks are fixed blocks of the run-index
 	// space, so results stay bit-identical for any worker count.
-	ChunkSize int
+	ChunkSize int `json:"chunk_size,omitempty"`
 }
 
 func (o *Options) normalize() {
@@ -119,47 +122,49 @@ func (o *Options) delta() (float64, error) {
 	return 1 - o.TargetConfidence, nil
 }
 
-// Result aggregates a stochastic simulation.
+// Result aggregates a stochastic simulation. It marshals to JSON for
+// the ddsimd API: histogram keys become decimal strings and Elapsed is
+// serialised as nanoseconds.
 type Result struct {
 	// Runs is the number of completed trajectories.
-	Runs int
+	Runs int `json:"runs"`
 	// TargetRuns is the number of trajectories the engine planned to
 	// execute: Options.Runs, or the (smaller) Theorem-1 requirement
 	// when adaptive stopping kicked in.
-	TargetRuns int
+	TargetRuns int `json:"target_runs"`
 	// Counts histograms the sampled final-state basis outcomes
 	// (Runs × Shots samples in total).
-	Counts map[uint64]int
+	Counts map[uint64]int `json:"counts,omitempty"`
 	// ClassicalCounts histograms the classical register after each
 	// run, for circuits containing explicit measurements.
-	ClassicalCounts map[uint64]int
+	ClassicalCounts map[uint64]int `json:"classical_counts,omitempty"`
 	// TrackedProbs[i] is the Monte-Carlo estimate ô_l for
 	// Options.TrackStates[i].
-	TrackedProbs []float64
+	TrackedProbs []float64 `json:"tracked_probs,omitempty"`
 	// MeanFidelity is the estimated fidelity with the noise-free final
 	// state (only meaningful when Options.TrackFidelity was set).
-	MeanFidelity float64
+	MeanFidelity float64 `json:"mean_fidelity,omitempty"`
 	// Properties is the number L of tracked quadratic properties used
 	// in the Theorem-1 bounds.
-	Properties int
+	Properties int `json:"properties"`
 	// ConfidenceRadius is the Theorem-1 accuracy ε guaranteed at
 	// confidence TargetConfidence for the actual completed run count.
-	ConfidenceRadius float64
+	ConfidenceRadius float64 `json:"confidence_radius"`
 	// Elapsed is the wall-clock simulation time.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// TimedOut reports whether Options.Timeout expired before the
 	// planned trajectories completed.
-	TimedOut bool
+	TimedOut bool `json:"timed_out,omitempty"`
 	// BudgetExhausted reports that adaptive stopping was requested but
 	// the Theorem-1 requirement for TargetAccuracy exceeded the Runs
 	// budget, so the full budget was consumed without meeting ε.
-	BudgetExhausted bool
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 	// Interrupted reports that the context was cancelled before the
 	// planned trajectories completed; the result aggregates the runs
 	// that did complete.
-	Interrupted bool
+	Interrupted bool `json:"interrupted,omitempty"`
 	// Workers echoes the worker count used.
-	Workers int
+	Workers int `json:"workers"`
 }
 
 // SampleFraction returns the fraction of samples that landed on idx.

@@ -1,0 +1,73 @@
+package telemetry
+
+import "fmt"
+
+// Standard simulator instruments, shared by the stochastic engine, the
+// CLIs and the ddsimd service. All live in the Default registry.
+var (
+	// Trajectories counts Monte-Carlo trajectories completed across
+	// every simulation in the process.
+	Trajectories = NewCounter("ddsim_trajectories_total",
+		"Monte-Carlo trajectories completed.")
+
+	// BackendSeconds accumulates per-backend simulation wall time.
+	BackendSeconds = NewFloatCounterVec("ddsim_backend_seconds_total",
+		"Wall-clock simulation time per backend.", "backend")
+
+	// BackendJobs counts finished simulation jobs per backend.
+	BackendJobs = NewCounterVec("ddsim_backend_jobs_total",
+		"Simulation jobs finished per backend.", "backend")
+
+	// DDUniqueLookups / DDUniqueHits measure the decision-diagram
+	// unique-table (hash-consing) hit rate.
+	DDUniqueLookups = NewCounter("ddsim_dd_unique_lookups_total",
+		"Decision-diagram unique-table lookups.")
+	DDUniqueHits = NewCounter("ddsim_dd_unique_hits_total",
+		"Decision-diagram unique-table hits (node already existed).")
+
+	// DDComputeLookups / DDComputeHits measure the combined hit rate of
+	// the memoisation caches (add, multiply, norm, probability, ...).
+	DDComputeLookups = NewCounter("ddsim_dd_compute_lookups_total",
+		"Decision-diagram compute-table lookups.")
+	DDComputeHits = NewCounter("ddsim_dd_compute_hits_total",
+		"Decision-diagram compute-table hits.")
+
+	// DDNodesCreated counts vector nodes ever created, DDGCRuns the
+	// number of DD garbage collections, and DDPeakNodes the largest
+	// live vector-node population seen in any single DD package.
+	DDNodesCreated = NewCounter("ddsim_dd_nodes_created_total",
+		"Decision-diagram vector nodes created.")
+	DDGCRuns = NewCounter("ddsim_dd_gc_runs_total",
+		"Decision-diagram garbage collections.")
+	DDPeakNodes = NewGauge("ddsim_dd_peak_nodes",
+		"Largest live vector-node population observed in one DD package.")
+
+	// JobsQueued / JobsRunning / JobsDone track the ddsimd service job
+	// lifecycle (done is labelled by terminal status:
+	// done / cancelled / failed).
+	JobsQueued = NewGauge("ddsim_jobs_queued",
+		"Service jobs accepted and waiting for a worker-pool slot.")
+	JobsRunning = NewGauge("ddsim_jobs_running",
+		"Service jobs currently simulating.")
+	JobsDone = NewCounterVec("ddsim_jobs_done_total",
+		"Service jobs finished, by terminal status.", "status")
+)
+
+// hitRate returns hits/lookups as a percentage, or 0 when idle.
+func hitRate(hits, lookups *Counter) float64 {
+	l := lookups.Value()
+	if l == 0 {
+		return 0
+	}
+	return 100 * float64(hits.Value()) / float64(l)
+}
+
+// Summary formats a compact one-line digest of the simulation counters
+// for CLI footers (sqcsim -progress, benchtab).
+func Summary() string {
+	return fmt.Sprintf(
+		"trajectories=%d dd[created=%d peak=%d gc=%d unique-hit=%.1f%% compute-hit=%.1f%%]",
+		Trajectories.Value(), DDNodesCreated.Value(), DDPeakNodes.Value(), DDGCRuns.Value(),
+		hitRate(DDUniqueHits, DDUniqueLookups),
+		hitRate(DDComputeHits, DDComputeLookups))
+}

@@ -1,0 +1,395 @@
+// Package telemetry provides the process-wide instrumentation layer of
+// the simulator: cheap atomic counters and gauges that the engine
+// (internal/stochastic), the decision-diagram backend (via
+// sim.TableStatser) and the long-running service (cmd/ddsimd) all
+// report into, exposed in Prometheus text format.
+//
+// The package is deliberately dependency-free (standard library only)
+// and allocation-free on the hot path: a counter update is one atomic
+// add. Metrics register themselves into a Registry at construction;
+// the package-level constructors use the Default registry, whose
+// contents are served by Handler at /metrics.
+//
+// Instrument catalogue (all under the ddsim_ / go_ prefixes):
+//
+//   - simulation throughput: trajectories completed, per-backend wall
+//     time and finished jobs;
+//   - decision-diagram table activity: unique-table and compute-table
+//     lookups/hits (hit rate = hits/lookups), nodes created, peak live
+//     nodes, DD garbage collections;
+//   - service state: jobs queued/running/done (cmd/ddsimd);
+//   - Go runtime: goroutines, GC cycles, heap in use.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metric is anything the registry can render in Prometheus text format.
+type metric interface {
+	name() string
+	write(w io.Writer)
+}
+
+// Registry holds an ordered set of metrics and renders them in the
+// Prometheus text exposition format (version 0.0.4).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Default is the registry used by the package-level constructors and
+// by Handler.
+var Default = NewRegistry()
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name()] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", m.name()))
+	}
+	r.names[m.name()] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every registered metric to w in the
+// Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		m.write(w)
+	}
+}
+
+// Handler serves the Default registry in Prometheus text format.
+func Handler() http.Handler {
+	return Default.handler()
+}
+
+func (r *Registry) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatFloat renders a float the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	nm, help string
+	v        atomic.Int64
+}
+
+// NewCounter creates and registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewCounter creates and registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{nm: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nm }
+
+func (c *Counter) write(w io.Writer) {
+	writeHeader(w, c.nm, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+}
+
+// Gauge is an integer metric that can go up and down. SetMax makes it
+// usable as a high-water mark.
+type Gauge struct {
+	nm, help string
+	v        atomic.Int64
+}
+
+// NewGauge creates and registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewGauge creates and registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// SetMax raises the gauge to v if v is larger (atomic high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) name() string { return g.nm }
+
+func (g *Gauge) write(w io.Writer) {
+	writeHeader(w, g.nm, g.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
+}
+
+// GaugeFunc is a metric whose value is computed at scrape time — used
+// for Go runtime statistics. The exposed TYPE is "gauge" for
+// NewGaugeFunc and "counter" for NewCounterFunc (monotonic sources
+// such as GC cycle counts).
+type GaugeFunc struct {
+	nm, help, typ string
+	f             func() float64
+}
+
+// NewGaugeFunc creates and registers a callback gauge in the Default
+// registry.
+func NewGaugeFunc(name, help string, f func() float64) *GaugeFunc {
+	return Default.NewGaugeFunc(name, help, f)
+}
+
+// NewGaugeFunc creates and registers a callback gauge.
+func (r *Registry) NewGaugeFunc(name, help string, f func() float64) *GaugeFunc {
+	g := &GaugeFunc{nm: name, help: help, typ: "gauge", f: f}
+	r.register(g)
+	return g
+}
+
+// NewCounterFunc creates and registers a callback metric exposed with
+// counter semantics in the Default registry; f must be monotonic.
+func NewCounterFunc(name, help string, f func() float64) *GaugeFunc {
+	return Default.NewCounterFunc(name, help, f)
+}
+
+// NewCounterFunc creates and registers a callback counter; f must be
+// monotonic.
+func (r *Registry) NewCounterFunc(name, help string, f func() float64) *GaugeFunc {
+	g := &GaugeFunc{nm: name, help: help, typ: "counter", f: f}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) name() string { return g.nm }
+
+func (g *GaugeFunc) write(w io.Writer) {
+	writeHeader(w, g.nm, g.help, g.typ)
+	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.f()))
+}
+
+// FloatCounter is a monotonically increasing float metric (seconds of
+// wall time, etc.). Adds are lock-free CAS loops on the float bits.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds v.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// CounterVec is a family of counters distinguished by one label value
+// (e.g. per-backend totals). Label values are created on first use;
+// With is mutex-guarded (cold path) while the returned counter's Add
+// is a single atomic (hot path) — callers should cache the child.
+type CounterVec struct {
+	nm, help, label string
+	mu              sync.Mutex
+	children        map[string]*Counter
+}
+
+// NewCounterVec creates and registers a labelled counter family in the
+// Default registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.NewCounterVec(name, help, label)
+}
+
+// NewCounterVec creates and registers a labelled counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{nm: name, help: help, label: label, children: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the counter for one label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{nm: v.nm}
+		v.children[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) name() string { return v.nm }
+
+func (v *CounterVec) write(w io.Writer) {
+	writeHeader(w, v.nm, v.help, "counter")
+	for _, value := range v.sortedLabels() {
+		v.mu.Lock()
+		c := v.children[value]
+		v.mu.Unlock()
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.nm, v.label, value, c.Value())
+	}
+}
+
+func (v *CounterVec) sortedLabels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.children))
+	for k := range v.children {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FloatCounterVec is CounterVec for float counters (wall-time totals).
+type FloatCounterVec struct {
+	nm, help, label string
+	mu              sync.Mutex
+	children        map[string]*FloatCounter
+}
+
+// NewFloatCounterVec creates and registers a labelled float-counter
+// family in the Default registry.
+func NewFloatCounterVec(name, help, label string) *FloatCounterVec {
+	return Default.NewFloatCounterVec(name, help, label)
+}
+
+// NewFloatCounterVec creates and registers a labelled float-counter
+// family.
+func (r *Registry) NewFloatCounterVec(name, help, label string) *FloatCounterVec {
+	v := &FloatCounterVec{nm: name, help: help, label: label, children: make(map[string]*FloatCounter)}
+	r.register(v)
+	return v
+}
+
+// With returns the float counter for one label value, creating it on
+// first use.
+func (v *FloatCounterVec) With(value string) *FloatCounter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &FloatCounter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+func (v *FloatCounterVec) name() string { return v.nm }
+
+func (v *FloatCounterVec) write(w io.Writer) {
+	writeHeader(w, v.nm, v.help, "counter")
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.children))
+	for k := range v.children {
+		labels = append(labels, k)
+	}
+	v.mu.Unlock()
+	sort.Strings(labels)
+	for _, value := range labels {
+		v.mu.Lock()
+		c := v.children[value]
+		v.mu.Unlock()
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.nm, v.label, value, formatFloat(c.Value()))
+	}
+}
+
+// memStatsCached serves all runtime gauges of one scrape from a single
+// ReadMemStats call (it stops the world): consecutive readers within
+// ttl share the snapshot.
+var memStatsCache struct {
+	mu    sync.Mutex
+	ts    time.Time
+	stats runtime.MemStats
+}
+
+func memStatsCached() runtime.MemStats {
+	const ttl = 100 * time.Millisecond
+	memStatsCache.mu.Lock()
+	defer memStatsCache.mu.Unlock()
+	if time.Since(memStatsCache.ts) > ttl {
+		runtime.ReadMemStats(&memStatsCache.stats)
+		memStatsCache.ts = time.Now()
+	}
+	return memStatsCache.stats
+}
+
+func init() {
+	NewGaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	NewCounterFunc("go_gc_cycles_total", "Completed Go garbage collection cycles.",
+		func() float64 { return float64(memStatsCached().NumGC) })
+	NewGaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(memStatsCached().HeapAlloc) })
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "A test counter.")
+	g := r.NewGauge("test_gauge", "A test gauge.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(7)
+	g.Dec()
+	g.Add(2)
+	if g.Value() != 8 {
+		t.Fatalf("gauge = %d, want 8", g.Value())
+	}
+	g.SetMax(3) // lower: no effect
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("gauge after SetMax = %d, want 11", g.Value())
+	}
+}
+
+func TestVecAndFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs.")
+	v := r.NewCounterVec("by_backend_total", "Per backend.", "backend")
+	f := r.NewFloatCounterVec("seconds_total", "Seconds.", "backend")
+	r.NewGaugeFunc("fn_gauge", "Callback.", func() float64 { return 2.5 })
+	c.Add(3)
+	v.With("dd").Add(2)
+	v.With("statevec").Inc()
+	f.With("dd").Add(1.25)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs.\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE by_backend_total counter\n",
+		"by_backend_total{backend=\"dd\"} 2\n",
+		"by_backend_total{backend=\"statevec\"} 1\n",
+		"seconds_total{backend=\"dd\"} 1.25\n",
+		"# TYPE fn_gauge gauge\nfn_gauge 2.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFloatCounterConcurrent(t *testing.T) {
+	var c FloatCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Fatalf("float counter = %v, want 4000", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	r.NewCounter("dup_total", "x")
+}
+
+func TestHandlerServesDefaultRegistry(t *testing.T) {
+	Trajectories.Add(1)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"ddsim_trajectories_total", "go_goroutines", "ddsim_dd_unique_lookups_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestSummaryMentionsCoreCounters(t *testing.T) {
+	s := Summary()
+	for _, want := range []string{"trajectories=", "unique-hit=", "compute-hit=", "gc="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary() = %q missing %q", s, want)
+		}
+	}
+}
