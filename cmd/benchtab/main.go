@@ -15,18 +15,31 @@
 //
 //	benchtab -table 1b -runs 30000 -accuracy 0.05 -confidence 0.95
 //
+// Trajectory checkpointing (-checkpoint auto|on|off, default auto)
+// toggles the engine's deterministic-prefix fork optimisation, so A/B
+// runs isolate its effect; same-seed cells are bit-identical either
+// way. Machine-readable output (-json PATH) writes every regenerated
+// table plus run parameters and a telemetry digest (gates applied,
+// gates skipped via checkpoints, forks served) as one JSON document —
+// the format consumed by the CI benchmark job (BENCH_pr.json):
+//
+//	benchtab -table all -runs 10 -budget 5s -quiet -json BENCH_pr.json
+//
 // Ctrl-C interrupts cleanly: finished cells keep their numbers,
-// interrupted cells are marked, and the exit status is 130. Unless
-// -quiet is set, a final telemetry digest (trajectories simulated,
+// interrupted cells are marked, -json still writes the partial tables
+// (flagged "interrupted"), and the exit status is 130. Unless -quiet
+// is set, a final telemetry digest (trajectories simulated,
 // decision-diagram table hit rates) is printed to stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 
 	"ddsim"
@@ -46,6 +59,8 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		accuracy   = flag.Float64("accuracy", 0, "adaptive stopping per cell: run only the trajectories Theorem 1 requires for this ε (0 = always run -runs)")
 		confidence = flag.Float64("confidence", 0.95, "confidence level 1−δ for -accuracy")
+		checkpoint = flag.String("checkpoint", ddsim.CheckpointAuto, "trajectory checkpointing per cell: auto, on (fails backends without fork support), off; cells are bit-identical either way")
+		jsonPath   = flag.String("json", "", "also write the regenerated tables and a telemetry digest as JSON to this path (the BENCH_pr.json format)")
 		sizesA     = flag.String("sizes-1a", "8,12,16,20,22,24,28,32,48,64", "entanglement qubit counts")
 		sizesB     = flag.String("sizes-1b", "8,10,12,14,16,18,20,24,28,32", "QFT qubit counts")
 	)
@@ -71,6 +86,7 @@ func main() {
 		Context:          ctx,
 		TargetAccuracy:   *accuracy,
 		TargetConfidence: *confidence,
+		Checkpointing:    *checkpoint,
 	}
 	if !*quiet {
 		runner.Verbose = func(format string, args ...interface{}) {
@@ -78,25 +94,36 @@ func main() {
 		}
 	}
 
-	fmt.Printf("stochastic noisy simulation: M=%d runs/cell, budget=%s/cell, noise %s\n\n",
-		*runs, *budget, noise.PaperDefaults())
+	fmt.Printf("stochastic noisy simulation: M=%d runs/cell, budget=%s/cell, noise %s, checkpointing %s\n\n",
+		*runs, *budget, noise.PaperDefaults(), *checkpoint)
 
+	var tables []*qbench.Table
+	collect := func(t *qbench.Table) {
+		tables = append(tables, t)
+		fmt.Println(t.Format())
+	}
 	switch *table {
 	case "1a":
-		printTableIa(runner, parseSizes(*sizesA))
+		collect(runner.RunScalable("Table Ia — Entanglement (GHZ) circuits", parseSizes(*sizesA), qbench.GHZ))
 	case "1b":
-		printTableIb(runner, parseSizes(*sizesB))
+		collect(runner.RunScalable("Table Ib — QFT circuits", parseSizes(*sizesB), qbench.QFT))
 	case "1c":
-		printTableIc(runner)
+		collect(runner.RunFixed("Table Ic — QASMBench-style circuits", qbench.TableIc()))
 	case "ext":
-		printTableExt(runner)
+		collect(runner.RunFixed("Extended QASMBench-style families (beyond the paper's selection)", qbench.Extended()))
 	case "all":
-		printTableIa(runner, parseSizes(*sizesA))
-		printTableIb(runner, parseSizes(*sizesB))
-		printTableIc(runner)
+		collect(runner.RunScalable("Table Ia — Entanglement (GHZ) circuits", parseSizes(*sizesA), qbench.GHZ))
+		collect(runner.RunScalable("Table Ib — QFT circuits", parseSizes(*sizesB), qbench.QFT))
+		collect(runner.RunFixed("Table Ic — QASMBench-style circuits", qbench.TableIc()))
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown table %q (want 1a, 1b, 1c, ext, all)\n", *table)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, runner, tables, ctx.Err() != nil); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "telemetry: %s\n", telemetry.Summary())
@@ -130,22 +157,97 @@ func parseSizes(s string) []int {
 	return out
 }
 
-func printTableIa(r *qbench.Runner, sizes []int) {
-	t := r.RunScalable("Table Ia — Entanglement (GHZ) circuits", sizes, qbench.GHZ)
-	fmt.Println(t.Format())
+// The machine-readable report format (-json): one self-describing
+// document per benchtab invocation, stable enough to diff between PRs
+// (the CI benchmark job uploads it as BENCH_pr.json).
+type jsonReport struct {
+	GoVersion     string      `json:"go_version"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Runs          int         `json:"runs"`
+	BudgetNS      int64       `json:"budget_ns"`
+	Seed          int64       `json:"seed"`
+	Accuracy      float64     `json:"accuracy,omitempty"`
+	Checkpointing string      `json:"checkpointing"`
+	Interrupted   bool        `json:"interrupted,omitempty"`
+	Tables        []jsonTable `json:"tables"`
+	// Telemetry is the process-wide counter digest after all cells
+	// ran: trajectories, gate applications, checkpoint effect, DD
+	// table activity.
+	Telemetry map[string]int64 `json:"telemetry"`
 }
 
-func printTableIb(r *qbench.Runner, sizes []int) {
-	t := r.RunScalable("Table Ib — QFT circuits", sizes, qbench.QFT)
-	fmt.Println(t.Format())
+type jsonTable struct {
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
 }
 
-func printTableIc(r *qbench.Runner) {
-	t := r.RunFixed("Table Ic — QASMBench-style circuits", qbench.TableIc())
-	fmt.Println(t.Format())
+type jsonRow struct {
+	Name  string     `json:"name"`
+	N     int        `json:"n"`
+	Cells []jsonCell `json:"cells"`
 }
 
-func printTableExt(r *qbench.Runner) {
-	t := r.RunFixed("Extended QASMBench-style families (beyond the paper's selection)", qbench.Extended())
-	fmt.Println(t.Format())
+type jsonCell struct {
+	// Status is one of ok, timeout, skipped, error.
+	Status  string  `json:"status"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+func cellStatus(s qbench.CellStatus) string {
+	switch s {
+	case qbench.CellOK:
+		return "ok"
+	case qbench.CellTimeout:
+		return "timeout"
+	case qbench.CellSkipped:
+		return "skipped"
+	default:
+		return "error"
+	}
+}
+
+func writeJSON(path string, r *qbench.Runner, tables []*qbench.Table, interrupted bool) error {
+	rep := jsonReport{
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Runs:          r.Runs,
+		BudgetNS:      int64(r.Budget),
+		Seed:          r.Seed,
+		Accuracy:      r.TargetAccuracy,
+		Checkpointing: r.Checkpointing,
+		Interrupted:   interrupted,
+		Telemetry: map[string]int64{
+			"trajectories":             telemetry.Trajectories.Value(),
+			"gate_applications":        telemetry.GateApplications.Value(),
+			"checkpoint_gates_skipped": telemetry.CheckpointGatesSkipped.Value(),
+			"checkpoint_forks":         telemetry.CheckpointForks.Value(),
+			"checkpoints_prefix":       telemetry.CheckpointsTaken.With("prefix").Value(),
+			"checkpoints_segment":      telemetry.CheckpointsTaken.With("segment").Value(),
+			"dd_nodes_created":         telemetry.DDNodesCreated.Value(),
+			"dd_peak_nodes":            telemetry.DDPeakNodes.Value(),
+			"dd_gc_runs":               telemetry.DDGCRuns.Value(),
+		},
+	}
+	for _, t := range tables {
+		jt := jsonTable{Title: t.Title, Columns: t.Columns}
+		for _, row := range t.Rows {
+			jr := jsonRow{Name: row.Label, N: row.N}
+			for _, c := range row.Cells {
+				jr.Cells = append(jr.Cells, jsonCell{
+					Status:  cellStatus(c.Status),
+					Seconds: c.Elapsed.Seconds(),
+					Error:   c.Err,
+				})
+			}
+			jt.Rows = append(jt.Rows, jr)
+		}
+		rep.Tables = append(rep.Tables, jt)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

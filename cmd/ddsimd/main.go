@@ -18,7 +18,13 @@
 // A submission selects a circuit (inline OpenQASM 2.0 or a built-in
 // benchmark family), a backend, a noise point — optionally swept over
 // several scale factors through one shared worker pool — and the
-// engine options (runs, seed, shots, adaptive stopping, ...):
+// engine options (runs, seed, shots, adaptive stopping,
+// checkpointing, ...). "options": {"checkpointing": "auto"|"on"|"off"}
+// controls the trajectory checkpoint/fork optimisation (default auto;
+// "on" is rejected for the sparse backend, which cannot fork); result
+// JSON reports "checkpointed": true when forking was used, and
+// /metrics exposes checkpoints taken, forks served, gates skipped and
+// memory retained:
 //
 //	curl -s localhost:8344/jobs -d '{
 //	  "circuit": {"name": "ghz", "n": 16},

@@ -320,6 +320,21 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			spec.Options.Runs, s.maxRuns)
 		return
 	}
+	switch spec.Options.Checkpointing {
+	case "", ddsim.CheckpointAuto, ddsim.CheckpointOff:
+	case ddsim.CheckpointOn:
+		// The sparse baseline has no fork support; reject at submit
+		// instead of failing the job after it queued.
+		if spec.Backend == ddsim.BackendSparse {
+			writeErr(w, http.StatusBadRequest,
+				"options.checkpointing %q is unsupported by backend %q", ddsim.CheckpointOn, spec.Backend)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "options.checkpointing %q invalid (want %s, %s or %s)",
+			spec.Options.Checkpointing, ddsim.CheckpointAuto, ddsim.CheckpointOn, ddsim.CheckpointOff)
+		return
+	}
 
 	// Admission control: beyond maxPending unfinished jobs, shed load
 	// instead of growing the queue (goroutines, contexts, job state)

@@ -432,6 +432,8 @@ func TestSubmissionValidation(t *testing.T) {
 		{"qubits over limit", `{"circuit": {"name": "ghz", "n": 2000000000}}`},
 		{"qasm qubits over limit", `{"circuit": {"qasm": "OPENQASM 2.0;\nqreg q[70];\n"}}`},
 		{"dense backend too large", `{"circuit": {"name": "ghz", "n": 40}, "backend": "statevec"}`},
+		{"bad checkpointing mode", `{"circuit": {"name": "ghz", "n": 3}, "options": {"runs": 10, "checkpointing": "maybe"}}`},
+		{"checkpointing on sparse", `{"circuit": {"name": "ghz", "n": 3}, "backend": "sparse", "options": {"runs": 10, "checkpointing": "on"}}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(tc.body))

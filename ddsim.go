@@ -49,6 +49,21 @@
 // chunks of the run-index space, run j always uses RNG seed Seed+j,
 // and partial sums are reduced in run order.
 //
+// # Trajectory checkpointing
+//
+// Stochastic trajectories of the same job are identical up to the
+// first operation where the noise model can act. The engine exploits
+// this (Options.Checkpointing, default CheckpointAuto): the
+// deterministic prefix is simulated once per worker, checkpointed —
+// cheaply, for decision diagrams: the shared unique and compute
+// tables are reused and only root-edge reference counts are bumped —
+// and every trajectory forks from the checkpoint. For noise-free jobs
+// whose measurements are separated by long deterministic gate runs,
+// multi-level checkpoints keyed by the outcome history skip those
+// runs too. Same-seed results are bit-identical with checkpointing on
+// or off; /metrics and the CLI telemetry digests report prefix gates
+// skipped, checkpoints taken, forks served and memory retained.
+//
 // # Batch simulation
 //
 // BatchSimulate runs a set of (circuit, noise-point) jobs — for
@@ -123,6 +138,23 @@ const (
 	BackendDD          = "dd"
 	BackendStatevector = "statevec"
 	BackendSparse      = "sparse"
+)
+
+// Checkpointing modes accepted by Options.Checkpointing. Trajectories
+// of the same job are identical up to the first op where the noise
+// model can act, so the engine can simulate that deterministic prefix
+// once per worker and fork every trajectory from the checkpoint
+// (backends implementing the fork capability: dd and statevec).
+// Same-seed results are bit-identical in every mode; only the work
+// performed differs.
+const (
+	// CheckpointAuto (the default) forks from checkpoints whenever the
+	// backend supports it and the circuit has gates to save.
+	CheckpointAuto = stochastic.CheckpointAuto
+	// CheckpointOn requires checkpointing; unsupported backends fail.
+	CheckpointOn = stochastic.CheckpointOn
+	// CheckpointOff always replays every gate of every trajectory.
+	CheckpointOff = stochastic.CheckpointOff
 )
 
 // Backends lists the available engine identifiers.

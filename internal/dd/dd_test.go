@@ -590,6 +590,29 @@ func TestUnrefUnderflowPanics(t *testing.T) {
 	p.Unref(e)
 }
 
+// TestSetGCThresholds: the tuning knob moves the MaybeGC trigger
+// points and ignores non-positive arguments.
+func TestSetGCThresholds(t *testing.T) {
+	p := NewPackage(4)
+	p.SetGCThresholds(123, 456)
+	if p.gcThreshold != 123 || p.wGCThreshold != 456 {
+		t.Fatalf("thresholds = %d/%d, want 123/456", p.gcThreshold, p.wGCThreshold)
+	}
+	p.SetGCThresholds(0, -1)
+	if p.gcThreshold != 123 || p.wGCThreshold != 456 {
+		t.Errorf("non-positive arguments must leave thresholds unchanged, got %d/%d",
+			p.gcThreshold, p.wGCThreshold)
+	}
+	// A tiny node threshold must now trigger a collection.
+	state := bell4(p)
+	p.Ref(state)
+	p.SetGCThresholds(1, 0)
+	if !p.MaybeGC() {
+		t.Error("MaybeGC should collect once the lowered threshold is exceeded")
+	}
+	p.Unref(state)
+}
+
 func TestMaybeGCThresholdGrowth(t *testing.T) {
 	p := NewPackage(4)
 	state := bell4(p)

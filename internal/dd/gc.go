@@ -152,6 +152,23 @@ func (p *Package) GarbageCollect() int {
 	return collected
 }
 
+// SetGCThresholds overrides the populations at which MaybeGC triggers
+// a collection: nodes is the combined unique-table population (vector
+// plus matrix nodes; default 250000), weights the interned-weight
+// count (default 400000). Non-positive arguments leave the respective
+// threshold unchanged. Lower thresholds trade collection time for a
+// smaller peak footprint, higher ones the reverse; either way the
+// adaptive doubling of MaybeGC still applies on ineffective sweeps.
+// See docs/PERFORMANCE.md for tuning guidance.
+func (p *Package) SetGCThresholds(nodes, weights int) {
+	if nodes > 0 {
+		p.gcThreshold = nodes
+	}
+	if weights > 0 {
+		p.wGCThreshold = weights
+	}
+}
+
 // MaybeGC collects garbage if the unique tables or the weight table
 // have outgrown their current thresholds. If a collection frees less
 // than half of the triggering population, that threshold doubles so

@@ -226,11 +226,36 @@ func (b *Backend) TableStats() sim.TableStats {
 	}
 }
 
-// Snapshot implements sim.Snapshotter: the state edge is pinned
-// against garbage collection and returned as the handle.
+// Snapshot implements sim.Snapshotter and sim.Forker: the state edge
+// is pinned against garbage collection and returned as the handle.
+// Taking a snapshot is O(size of the diagram) reference-count bumps;
+// no nodes are copied — the checkpoint shares the package's unique and
+// compute tables with the live state.
 func (b *Backend) Snapshot() sim.Snapshot {
 	b.pkg.Ref(b.state)
 	return b.state
+}
+
+// Restore implements sim.Forker: the captured diagram becomes the
+// current state again. Cheap by construction — one root-edge refcount
+// bump plus the release of the previous state; the snapshot keeps its
+// own pin, so it can be restored any number of times.
+func (b *Backend) Restore(s sim.State) {
+	b.setState(s.(dd.VEdge))
+}
+
+// approxVNodeBytes is the rough heap footprint of one vector node
+// (two child edges, level, id, refcount, bucket chain pointer), used
+// only for the checkpoint-retention telemetry.
+const approxVNodeBytes = 56
+
+// StateCost implements sim.StateSizer: the number of diagram nodes a
+// checkpoint pins and their approximate byte footprint. Shared
+// sub-diagrams are counted once per snapshot, matching what the pin
+// actually keeps alive.
+func (b *Backend) StateCost(s sim.State) (nodes, bytes int64) {
+	n := int64(b.pkg.NodeCount(s.(dd.VEdge)))
+	return n, n * approxVNodeBytes
 }
 
 // FidelityTo implements sim.Snapshotter via the DD inner product.

@@ -131,3 +131,57 @@ func TestStateAccessors(t *testing.T) {
 		t.Error("package not exposed")
 	}
 }
+
+// TestForkerSnapshotRestore: a checkpoint survives arbitrary further
+// mutation of the state — including measurement collapse and a forced
+// decision-diagram garbage collection — and can be restored any number
+// of times, bit-identically.
+func TestForkerSnapshotRestore(t *testing.T) {
+	c := circuit.GHZ(5)
+	b := build(t, c)
+	var f sim.Forker = b // compile-time capability check
+
+	for i := range c.Ops {
+		b.ApplyOp(i)
+	}
+	snap := f.Snapshot()
+	want := b.Package().ToVector(b.State())
+
+	// Mutate heavily: collapse the state, inject Paulis, run the DD GC
+	// (the snapshot's pin must keep its diagram alive).
+	b.Collapse(0, 1, b.ProbOne(0))
+	b.ApplyPauli(sim.PauliX, 2)
+	b.ApplyPauli(sim.PauliY, 4)
+	b.Package().GarbageCollect()
+
+	for round := 0; round < 3; round++ {
+		f.Restore(snap)
+		got := b.Package().ToVector(b.State())
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: amp[%d] = %v, want %v (not bit-identical)", round, i, got[i], want[i])
+			}
+		}
+		// Mutate again between rounds so every restore starts from a
+		// different current state.
+		b.ApplyPauli(sim.PauliZ, round)
+	}
+}
+
+// TestForkerStateCost: the retention cost of a GHZ checkpoint is the
+// linear node chain the paper advertises.
+func TestForkerStateCost(t *testing.T) {
+	c := circuit.GHZ(6)
+	b := build(t, c)
+	for i := range c.Ops {
+		b.ApplyOp(i)
+	}
+	var sizer sim.StateSizer = b
+	nodes, bytes := sizer.StateCost(b.Snapshot())
+	if nodes != 2*6-1 {
+		t.Errorf("GHZ(6) checkpoint pins %d nodes, want 11 (the linear 2n−1 chain)", nodes)
+	}
+	if bytes <= 0 {
+		t.Errorf("byte cost = %d, want > 0", bytes)
+	}
+}

@@ -89,6 +89,10 @@ type Runner struct {
 	// trajectories as Theorem 1 requires, capped by Runs.
 	TargetAccuracy   float64
 	TargetConfidence float64
+	// Checkpointing selects the engine's trajectory checkpoint/fork
+	// mode per cell ("auto", "on", "off"; empty means auto). Same-seed
+	// cells are bit-identical in every mode — only runtimes move.
+	Checkpointing string
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...interface{})
 }
@@ -121,6 +125,7 @@ func (r *Runner) measure(b Benchmark, f sim.Factory) Cell {
 		Timeout:          r.Budget,
 		TargetAccuracy:   r.TargetAccuracy,
 		TargetConfidence: r.TargetConfidence,
+		Checkpointing:    r.Checkpointing,
 	})
 	if err != nil {
 		return Cell{Status: CellError, Err: err.Error()}

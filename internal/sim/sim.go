@@ -19,9 +19,13 @@ type Pauli int
 
 // The Pauli operators.
 const (
+	// PauliI is the identity (no error applied).
 	PauliI Pauli = iota
+	// PauliX is the bit flip.
 	PauliX
+	// PauliY is the combined bit and phase flip.
 	PauliY
+	// PauliZ is the phase flip.
 	PauliZ
 )
 
@@ -128,6 +132,44 @@ type Snapshotter interface {
 
 // Snapshot is an opaque captured state.
 type Snapshot interface{}
+
+// State is an opaque captured simulation state, produced by
+// Forker.Snapshot. It aliases Snapshot so that a backend implementing
+// both capabilities (as the DD backend does) hands out one handle type
+// that works with FidelityTo and Restore alike.
+type State = Snapshot
+
+// Forker is an optional backend capability: checkpointing the current
+// state and later forking new trajectories from it. The stochastic
+// driver uses it to simulate the deterministic prefix of a noisy
+// circuit exactly once per worker and fork every trajectory from the
+// checkpoint instead of replaying the prefix (the paper's observation
+// that trajectories are identical up to the first probabilistic noise
+// event).
+//
+// Snapshot must be cheap to restore many times: the DD backend pins
+// the state diagram's root (bumping reference counts in the shared
+// unique table), the dense backend copies the amplitude array. A
+// handle stays valid for the backend's lifetime; Restore may be called
+// any number of times, in any order, including after further mutation
+// of the state.
+type Forker interface {
+	// Snapshot captures the current state as a restorable checkpoint.
+	Snapshot() State
+	// Restore makes the captured state the backend's current state.
+	// The handle remains valid afterwards (restore is non-destructive).
+	Restore(State)
+}
+
+// StateSizer is an optional capability of Forker backends: reporting
+// the retention cost of a captured State, so telemetry can expose how
+// much memory live checkpoints pin.
+type StateSizer interface {
+	// StateCost returns the approximate retention cost of s: live
+	// decision-diagram nodes pinned (DD backends; 0 for dense ones)
+	// and bytes held.
+	StateCost(s State) (nodes, bytes int64)
+}
 
 // Factory creates fresh backend instances compiled for a circuit.
 // The stochastic driver calls it once per worker.

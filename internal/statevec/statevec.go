@@ -218,8 +218,23 @@ func (b *Backend) Amplitudes() []complex128 {
 	return out
 }
 
-// Snapshot implements sim.Snapshotter by copying the amplitude array.
+// Snapshot implements sim.Snapshotter and sim.Forker by copying the
+// amplitude array.
 func (b *Backend) Snapshot() sim.Snapshot { return b.Amplitudes() }
+
+// Restore implements sim.Forker: the captured amplitudes become the
+// current state. The handle is copied from, never aliased, so it stays
+// valid for further restores after the state mutates again.
+func (b *Backend) Restore(s sim.State) {
+	copy(b.v, s.([]complex128))
+}
+
+// StateCost implements sim.StateSizer: a dense checkpoint retains the
+// full 2^n amplitude copy (16 bytes per amplitude) and pins no
+// decision-diagram nodes.
+func (b *Backend) StateCost(s sim.State) (nodes, bytes int64) {
+	return 0, int64(len(s.([]complex128))) * 16
+}
 
 // FidelityTo implements sim.Snapshotter: |⟨snapshot|ψ⟩|².
 func (b *Backend) FidelityTo(s sim.Snapshot) float64 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ddsim/internal/circuit"
+	"ddsim/internal/sim"
 )
 
 func build(t *testing.T, c *circuit.Circuit) *Backend {
@@ -109,5 +110,50 @@ func TestResetClearsState(t *testing.T) {
 	b.Reset()
 	if p := b.Probability(0); p != 1 {
 		t.Errorf("P(0) after reset = %v", p)
+	}
+}
+
+// TestForkerSnapshotRestore: a checkpoint is an independent amplitude
+// copy — later mutation (gates, collapse) must not leak into it, and
+// restoring must reproduce the captured state bit-identically, any
+// number of times.
+func TestForkerSnapshotRestore(t *testing.T) {
+	c := circuit.New("fork", 3)
+	c.H(0).CX(0, 1).RY(2, 0.7)
+	b := build(t, c)
+	var f sim.Forker = b // compile-time capability check
+
+	for i := range c.Ops {
+		b.ApplyOp(i)
+	}
+	snap := f.Snapshot()
+	want := b.Amplitudes()
+
+	b.Collapse(0, 0, 1-b.ProbOne(0))
+	b.ApplyPauli(sim.PauliX, 2)
+
+	for round := 0; round < 3; round++ {
+		f.Restore(snap)
+		got := b.Amplitudes()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: amp[%d] = %v, want %v (not bit-identical)", round, i, got[i], want[i])
+			}
+		}
+		b.ApplyPauli(sim.PauliZ, round)
+	}
+}
+
+// TestForkerStateCost: a dense checkpoint retains the full 2^n
+// amplitude copy.
+func TestForkerStateCost(t *testing.T) {
+	b := build(t, circuit.New("cost", 4))
+	var sizer sim.StateSizer = b
+	nodes, bytes := sizer.StateCost(b.Snapshot())
+	if nodes != 0 {
+		t.Errorf("dense checkpoints pin no DD nodes, got %d", nodes)
+	}
+	if bytes != 16*16 {
+		t.Errorf("byte cost = %d, want 256 (16 amplitudes × 16 bytes)", bytes)
 	}
 }

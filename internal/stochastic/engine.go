@@ -178,6 +178,7 @@ type jobState struct {
 	progTracked  []float64
 	progFid      float64
 	timedOut     bool
+	checkpointed bool // at least one worker forked from a checkpoint
 	err          error
 }
 
@@ -196,6 +197,9 @@ func prepareJob(job Job) (*jobState, error) {
 		return nil, err
 	}
 	job.Opts.normalize()
+	if err := job.Opts.validateCheckpointing(); err != nil {
+		return nil, err
+	}
 	delta, err := job.Opts.delta()
 	if err != nil {
 		return nil, err
@@ -246,6 +250,10 @@ type compiled struct {
 	snapper sim.Snapshotter
 	ref     sim.Snapshot
 	clbits  []uint64
+	// ckpt, when set, forks trajectories from a deterministic-prefix
+	// checkpoint instead of replaying the whole circuit (see
+	// Options.Checkpointing); nil means plain replay.
+	ckpt *ckptRunner
 	// lastStats is the table-stat snapshot at the last telemetry
 	// report; reportTableStats pushes the delta since then.
 	lastStats sim.TableStats
@@ -273,11 +281,20 @@ func (wb *compiled) reportTableStats() {
 
 func (e *engine) worker() {
 	cache := make(map[*jobState]*compiled)
+	var last *jobState
 	for {
 		js, first, count := e.nextChunk()
 		if js == nil {
 			return
 		}
+		if last != nil && last != js {
+			// Jobs are dispatched in submission order, so this worker
+			// will never draw the earlier job again: release its
+			// backend and checkpoints (pinned DD nodes, amplitude
+			// copies) instead of retaining them for the whole batch.
+			delete(cache, last)
+		}
+		last = js
 		wb, ok := cache[js]
 		if !ok {
 			var err error
@@ -348,9 +365,28 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 		}
 		// Reference trajectory: same circuit, no noise, fixed seed so
 		// every worker derives the identical state.
-		runOne(backend, js.job.Circuit, noise.Model{}, rand.New(rand.NewSource(js.job.Opts.Seed)), wb.clbits)
+		refGates := runOne(backend, js.job.Circuit, noise.Model{}, rand.New(rand.NewSource(js.job.Opts.Seed)), wb.clbits)
+		telemetry.GateApplications.Add(int64(refGates))
 		wb.ref = s.Snapshot()
 		wb.snapper = s
+	}
+	if mode := js.job.Opts.Checkpointing; mode != CheckpointOff {
+		forker, ok := backend.(sim.Forker)
+		switch {
+		case !ok && mode == CheckpointOn:
+			return nil, fmt.Errorf("stochastic: backend %q cannot checkpoint (Options.Checkpointing %q needs sim.Forker)",
+				backend.Name(), mode)
+		case ok:
+			plan := analyzeCheckpoint(js.job.Circuit, js.job.Model)
+			if mode == CheckpointOn || plan.worthwhile() {
+				ckpt, prefixGates := newCkptRunner(backend, forker, js.job.Circuit, js.job.Model, plan)
+				telemetry.GateApplications.Add(int64(prefixGates))
+				wb.ckpt = ckpt
+				e.mu.Lock()
+				js.checkpointed = true
+				e.mu.Unlock()
+			}
+		}
 	}
 	return wb, nil
 }
@@ -372,6 +408,7 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 	opts := &js.job.Opts
 	acc := newAccumulator(len(opts.TrackStates))
 	deadlineHit := false
+	var st ckptStats
 	for k := 0; k < count; k++ {
 		if e.ctx.Err() != nil {
 			break
@@ -381,7 +418,11 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 			break
 		}
 		rng := rand.New(rand.NewSource(opts.Seed + int64(first+k)))
-		runOne(wb.backend, js.job.Circuit, js.job.Model, rng, wb.clbits)
+		if wb.ckpt != nil {
+			wb.ckpt.run(rng, wb.clbits, &st)
+		} else {
+			st.applied += runOne(wb.backend, js.job.Circuit, js.job.Model, rng, wb.clbits)
+		}
 		acc.runs++
 		for s := 0; s < opts.Shots; s++ {
 			acc.counts[wb.backend.SampleBasis(rng)]++
@@ -397,6 +438,9 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 		}
 	}
 	e.commit(js, acc, first, deadlineHit)
+	telemetry.GateApplications.Add(int64(st.applied))
+	telemetry.CheckpointGatesSkipped.Add(int64(st.skipped))
+	telemetry.CheckpointForks.Add(int64(st.forks))
 	wb.reportTableStats()
 }
 
@@ -510,6 +554,7 @@ func (e *engine) finish(js *jobState) (*Result, error) {
 		TimedOut:         js.timedOut,
 		BudgetExhausted:  js.exhausted,
 		Interrupted:      interrupted,
+		Checkpointed:     js.checkpointed,
 		Workers:          e.workers,
 	}
 	for i := range res.TrackedProbs {

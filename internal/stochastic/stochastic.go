@@ -66,6 +66,18 @@ type Options struct {
 	// stopping rule and of Result.ConfidenceRadius (default 0.95).
 	TargetConfidence float64 `json:"target_confidence,omitempty"`
 
+	// Checkpointing selects the trajectory checkpoint/fork
+	// optimisation: the deterministic prefix of the circuit (up to the
+	// first op where the noise model can act) is simulated once per
+	// worker and every trajectory forks from the checkpoint instead of
+	// replaying it, with multi-level checkpoints between later random
+	// sites of noise-free jobs. Modes: CheckpointAuto (default; used
+	// when the backend implements sim.Forker and there are gates to
+	// save), CheckpointOn (required — unsupported backends fail) and
+	// CheckpointOff. Same-seed results are bit-identical in every
+	// mode.
+	Checkpointing string `json:"checkpointing,omitempty"`
+
 	// OnProgress, when set, receives periodic snapshots (every
 	// ProgressEvery completed runs, and once at job completion) from
 	// worker goroutines. Calls are serialised; keep the callback fast.
@@ -95,6 +107,21 @@ func (o *Options) normalize() {
 	}
 	if o.ProgressEvery <= 0 {
 		o.ProgressEvery = defaultProgressEvery
+	}
+	if o.Checkpointing == "" {
+		o.Checkpointing = CheckpointAuto
+	}
+}
+
+// validateCheckpointing rejects unknown Options.Checkpointing values
+// (after normalize mapped "" to CheckpointAuto).
+func (o *Options) validateCheckpointing() error {
+	switch o.Checkpointing {
+	case CheckpointAuto, CheckpointOn, CheckpointOff:
+		return nil
+	default:
+		return fmt.Errorf("stochastic: unknown checkpointing mode %q (want %s, %s or %s)",
+			o.Checkpointing, CheckpointAuto, CheckpointOn, CheckpointOff)
 	}
 }
 
@@ -163,6 +190,11 @@ type Result struct {
 	// planned trajectories completed; the result aggregates the runs
 	// that did complete.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// Checkpointed reports that trajectories were forked from a
+	// deterministic-prefix checkpoint instead of replaying the full
+	// circuit (see Options.Checkpointing). The estimates are
+	// bit-identical either way; only the work differs.
+	Checkpointed bool `json:"checkpointed,omitempty"`
 	// Workers echoes the worker count used.
 	Workers int `json:"workers"`
 }
@@ -218,13 +250,22 @@ func circuitMeasures(c *circuit.Circuit) bool {
 	return false
 }
 
-// runOne executes a single noisy trajectory. clbits is a 1-element
-// scratch slice holding the packed classical register.
-func runOne(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64) {
+// runOne executes a single noisy trajectory from the all-zero state
+// and returns the number of gate applications it executed. clbits is
+// a 1-element scratch slice holding the packed classical register.
+func runOne(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64) int {
 	b.Reset()
 	clbits[0] = 0
+	return runRange(b, c, model, rng, clbits, 0, len(c.Ops))
+}
+
+// runRange executes ops [from, to) of a trajectory on the backend's
+// current state and returns the number of gate applications. The
+// checkpoint runner uses it to resume forked trajectories mid-circuit.
+func runRange(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64, from, to int) int {
 	noisy := model.Enabled()
-	for i := range c.Ops {
+	gates := 0
+	for i := from; i < to; i++ {
 		op := &c.Ops[i]
 		if op.Cond != nil && !condHolds(op.Cond, clbits[0]) {
 			continue
@@ -232,24 +273,41 @@ func runOne(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand
 		switch op.Kind {
 		case circuit.KindGate:
 			b.ApplyOp(i)
+			gates++
 			if noisy {
 				model.ApplyAfterGate(b, op.Qubits(), rng)
 			}
-		case circuit.KindMeasure:
-			outcome := measure(b, op.Target, rng)
-			if outcome == 1 {
-				clbits[0] |= 1 << uint(op.Cbit)
-			} else {
-				clbits[0] &^= 1 << uint(op.Cbit)
-			}
-		case circuit.KindReset:
-			if measure(b, op.Target, rng) == 1 {
-				b.ApplyPauli(sim.PauliX, op.Target)
-			}
+		case circuit.KindMeasure, circuit.KindReset:
+			execSiteOp(b, op, rng, clbits)
 		case circuit.KindBarrier:
 			// no effect
 		}
 	}
+	return gates
+}
+
+// execSiteOp executes one random-site op — a measurement or a reset,
+// already condition-checked by the caller — and returns its outcome
+// bit. It is the single definition of the site semantics (classical
+// bit update, reset correction), shared by the plain replay path and
+// the checkpoint runner so the two can never drift apart.
+func execSiteOp(b sim.Backend, op *circuit.Op, rng *rand.Rand, clbits []uint64) int {
+	switch op.Kind {
+	case circuit.KindMeasure:
+		outcome := measure(b, op.Target, rng)
+		if outcome == 1 {
+			clbits[0] |= 1 << uint(op.Cbit)
+		} else {
+			clbits[0] &^= 1 << uint(op.Cbit)
+		}
+		return outcome
+	case circuit.KindReset:
+		if measure(b, op.Target, rng) == 1 {
+			b.ApplyPauli(sim.PauliX, op.Target)
+			return 1
+		}
+	}
+	return 0
 }
 
 func condHolds(cond *circuit.Condition, clbits uint64) bool {

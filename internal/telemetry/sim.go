@@ -42,6 +42,38 @@ var (
 	DDPeakNodes = NewGauge("ddsim_dd_peak_nodes",
 		"Largest live vector-node population observed in one DD package.")
 
+	// GateApplications counts unitary gate applications executed by
+	// simulation workers (trajectories, checkpoint-prefix construction
+	// and fidelity reference runs alike).
+	GateApplications = NewCounter("ddsim_gate_applications_total",
+		"Unitary gate applications executed by simulation workers.")
+
+	// CheckpointsTaken counts checkpoints captured by the trajectory
+	// engine, by kind: "prefix" (the shared deterministic prefix of a
+	// job, taken once per worker) or "segment" (a multi-level
+	// checkpoint after a deterministic run between noise sites).
+	CheckpointsTaken = NewCounterVec("ddsim_checkpoints_total",
+		"Checkpoints captured by the trajectory engine, by kind.", "kind")
+
+	// CheckpointForks counts state restores served from checkpoints:
+	// one per forked trajectory plus one per reused segment.
+	CheckpointForks = NewCounter("ddsim_checkpoint_forks_total",
+		"Trajectory forks served from checkpoints (state restores).")
+
+	// CheckpointGatesSkipped counts gate applications avoided by
+	// forking from checkpoints instead of replaying deterministic ops.
+	CheckpointGatesSkipped = NewCounter("ddsim_checkpoint_gates_skipped_total",
+		"Gate applications avoided by forking from checkpoints.")
+
+	// CheckpointNodesRetained / CheckpointBytesRetained are high-water
+	// marks of the memory pinned by one worker's live checkpoints:
+	// decision-diagram nodes (DD backend) and bytes (both backends;
+	// dense checkpoints are full amplitude copies).
+	CheckpointNodesRetained = NewGauge("ddsim_checkpoint_nodes_retained",
+		"Largest decision-diagram node count pinned by one worker's checkpoints.")
+	CheckpointBytesRetained = NewGauge("ddsim_checkpoint_bytes_retained",
+		"Largest byte footprint retained by one worker's checkpoints.")
+
 	// JobsQueued / JobsRunning / JobsDone track the ddsimd service job
 	// lifecycle (done is labelled by terminal status:
 	// done / cancelled / failed).
@@ -65,9 +97,16 @@ func hitRate(hits, lookups *Counter) float64 {
 // Summary formats a compact one-line digest of the simulation counters
 // for CLI footers (sqcsim -progress, benchtab).
 func Summary() string {
+	applied := GateApplications.Value()
+	skipped := CheckpointGatesSkipped.Value()
+	skipPct := 0.0
+	if applied+skipped > 0 {
+		skipPct = 100 * float64(skipped) / float64(applied+skipped)
+	}
 	return fmt.Sprintf(
-		"trajectories=%d dd[created=%d peak=%d gc=%d unique-hit=%.1f%% compute-hit=%.1f%%]",
-		Trajectories.Value(), DDNodesCreated.Value(), DDPeakNodes.Value(), DDGCRuns.Value(),
+		"trajectories=%d gates[applied=%d skipped=%.1f%%] ckpt[forks=%d] dd[created=%d peak=%d gc=%d unique-hit=%.1f%% compute-hit=%.1f%%]",
+		Trajectories.Value(), applied, skipPct, CheckpointForks.Value(),
+		DDNodesCreated.Value(), DDPeakNodes.Value(), DDGCRuns.Value(),
 		hitRate(DDUniqueHits, DDUniqueLookups),
 		hitRate(DDComputeHits, DDComputeLookups))
 }
