@@ -1,0 +1,222 @@
+package main
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is per-client token-bucket admission control for job
+// submissions: each client (keyed by remote address) gets a bucket
+// refilled at rate tokens/second up to burst; a submission spends one
+// token or is rejected with the time until the next token.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token balance at its last refill time.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client table; beyond it, full (idle)
+// buckets are pruned opportunistically so hostile clients cannot grow
+// the map without bound.
+const maxBuckets = 4096
+
+// newRateLimiter creates a limiter admitting rate submissions per
+// second per client with the given burst capacity (minimum 1).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty
+// it returns false and the duration after which a token will be
+// available.
+func (rl *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= maxBuckets {
+			rl.pruneLocked(now)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// pruneLocked bounds the bucket table at maxBuckets. First pass:
+// drop buckets that have refilled to capacity (idle clients lose
+// nothing by being forgotten). If hostile address rotation keeps the
+// table full of part-empty buckets anyway, evict the least-recently-
+// used entry so the insert that triggered the prune cannot grow the
+// map — the evicted client merely gets a fresh full bucket on its
+// next request, which is graceful degradation, not a bypass of the
+// memory bound. Both passes are O(maxBuckets) worst case, a bounded
+// scan that only runs when the table is at capacity. Caller holds
+// rl.mu.
+func (rl *rateLimiter) pruneLocked(now time.Time) {
+	for k, b := range rl.buckets {
+		if math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds()) >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+	if len(rl.buckets) < maxBuckets {
+		return
+	}
+	var lruKey string
+	var lruTime time.Time
+	for k, b := range rl.buckets {
+		if lruKey == "" || b.last.Before(lruTime) {
+			lruKey, lruTime = k, b.last
+		}
+	}
+	delete(rl.buckets, lruKey)
+}
+
+// clientKey identifies the submitting client for rate limiting: the
+// remote IP (ignoring the ephemeral port), falling back to the whole
+// RemoteAddr string when it does not parse.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// dispatcher grants a bounded number of concurrent simulation slots
+// in priority order: waiting jobs form a max-heap on (priority,
+// -submission sequence), so a freed slot always goes to the highest-
+// priority oldest waiter. It replaces a plain buffered-channel
+// semaphore, whose FIFO-ish wakeup cannot express priorities.
+type dispatcher struct {
+	mu      sync.Mutex
+	free    int
+	waiting waitHeap
+}
+
+// waiter is one job waiting for a slot; ready is closed when the slot
+// is granted.
+type waiter struct {
+	priority int
+	seq      int64
+	index    int // heap index, maintained by waitHeap
+	ready    chan struct{}
+}
+
+// newDispatcher creates a dispatcher with the given slot count
+// (minimum 1).
+func newDispatcher(slots int) *dispatcher {
+	if slots < 1 {
+		slots = 1
+	}
+	return &dispatcher{free: slots}
+}
+
+// acquire blocks until a slot is granted or ctx is cancelled. On
+// success the caller owns one slot and must release it; on
+// cancellation the slot (if one was granted concurrently) is handed
+// back.
+func (d *dispatcher) acquire(ctx context.Context, priority int, seq int64) error {
+	d.mu.Lock()
+	if d.free > 0 && d.waiting.Len() == 0 {
+		d.free--
+		d.mu.Unlock()
+		return nil
+	}
+	w := &waiter{priority: priority, seq: seq, ready: make(chan struct{})}
+	heap.Push(&d.waiting, w)
+	d.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		d.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: hand the slot back so
+			// it reaches the next waiter.
+			d.free++
+			d.grantLocked()
+		default:
+			heap.Remove(&d.waiting, w.index)
+		}
+		d.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot and wakes the best waiter, if any.
+func (d *dispatcher) release() {
+	d.mu.Lock()
+	d.free++
+	d.grantLocked()
+	d.mu.Unlock()
+}
+
+// grantLocked hands free slots to the highest-priority waiters.
+// Caller holds d.mu.
+func (d *dispatcher) grantLocked() {
+	for d.free > 0 && d.waiting.Len() > 0 {
+		w := heap.Pop(&d.waiting).(*waiter)
+		d.free--
+		close(w.ready)
+	}
+}
+
+// waitHeap orders waiters by descending priority, then ascending
+// submission sequence (older first). It implements heap.Interface.
+type waitHeap []*waiter
+
+func (h waitHeap) Len() int { return len(h) }
+
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h waitHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *waitHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+
+func (h *waitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}

@@ -1,37 +1,40 @@
 // Command ddsimd is the long-running stochastic-simulation service: an
 // HTTP/JSON API over the same Monte-Carlo engine the CLIs use, with
-// live telemetry in Prometheus text format.
+// durable job persistence, a content-addressed result cache,
+// admission control and live telemetry in Prometheus text format.
+// The full HTTP reference lives in docs/API.md and the deployment
+// runbook in docs/OPERATIONS.md.
 //
 // Endpoints:
 //
-//	POST   /jobs             submit a simulation job (JSON body below)
+//	POST   /jobs             submit a simulation job (JSON body below);
+//	                         429 + Retry-After under admission control
 //	GET    /jobs             list jobs, newest last
 //	GET    /jobs/{id}        job status; includes results once finished
 //	DELETE /jobs/{id}        cancel; completed trajectories are kept and
-//	                         returned as a partial result (Interrupted)
+//	                         returned as a partial result (Interrupted).
+//	                         On an already-finished job: no-op 200
 //	GET    /jobs/{id}/events live progress stream (server-sent events:
 //	                         "progress" snapshots, then one "result")
 //	GET    /metrics          Prometheus metrics (jobs, trajectories,
-//	                         DD table hit rates, per-backend wall time)
+//	                         cache and store activity, DD table hit
+//	                         rates, per-backend wall time)
 //	GET    /healthz          liveness probe
 //
 // A submission selects a circuit (inline OpenQASM 2.0 or a built-in
 // benchmark family), a backend, a noise point — optionally swept over
-// several scale factors through one shared worker pool — and the
-// engine options (runs, seed, shots, adaptive stopping,
-// checkpointing, ...). "options": {"checkpointing": "auto"|"on"|"off"}
-// controls the trajectory checkpoint/fork optimisation (default auto;
-// "on" is rejected for the sparse backend, which cannot fork); result
-// JSON reports "checkpointed": true when forking was used, and
-// /metrics exposes checkpoints taken, forks served, gates skipped and
-// memory retained:
+// several scale factors through one shared worker pool — the engine
+// options (runs, seed, shots, adaptive stopping, checkpointing, ...)
+// and an optional "priority" (±100; higher starts sooner when
+// simulation slots are contended):
 //
 //	curl -s localhost:8344/jobs -d '{
 //	  "circuit": {"name": "ghz", "n": 16},
 //	  "backend": "dd",
 //	  "noise":   {"depolarizing": 0.001, "damping": 0.002,
 //	              "phase_flip": 0.001, "damping_as_event": true},
-//	  "options": {"runs": 2000, "seed": 1}
+//	  "options": {"runs": 2000, "seed": 1},
+//	  "priority": 10
 //	}'
 //
 //	curl -s localhost:8344/jobs/j1
@@ -39,11 +42,33 @@
 //	curl -s -X DELETE localhost:8344/jobs/j1
 //	curl -s localhost:8344/metrics
 //
+// Durability: with -data-dir set, every accepted submission and every
+// final result is persisted (JSON records plus an fsync'd write-ahead
+// log of status transitions). A restart — graceful or kill -9 —
+// replays the store: finished jobs are served from disk and jobs that
+// were queued or running are re-queued and re-run to bit-identical
+// same-seed results. Without -data-dir the service is ephemeral.
+//
+// Caching: a simulation is a pure function of its canonical job key
+// (circuit text, backend, noise points, seed-relevant options — see
+// ddsim.JobKey), so finished results are cached in memory (LRU,
+// bounded by -cache-entries and -cache-mb) and identical in-flight
+// submissions run once and fan out ("cached": true in the job view;
+// ddsim_rescache_* metrics count hits, misses, dedup joins, bytes and
+// evictions).
+//
+// Admission control: per-client token-bucket rate limiting
+// (-rate-limit, -rate-burst) and a bounded unfinished-job queue
+// (-max-pending) both answer 429 with a Retry-After header when
+// exceeded.
+//
 // Concurrency model: every job runs its noise points through one
 // shared worker pool of -workers goroutines (the engine's
 // BatchSimulate); at most -max-active jobs simulate at once and the
-// rest queue in submission order. Ctrl-C / SIGTERM drains cleanly:
-// running jobs are cancelled and report partial results.
+// rest queue in priority order (ties by submission order). Ctrl-C /
+// SIGTERM drains cleanly: running jobs are cancelled and report
+// partial results (and, with -data-dir, are re-queued on the next
+// start).
 package main
 
 import (
@@ -56,16 +81,24 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"ddsim/internal/jobstore"
+	"ddsim/internal/rescache"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8344", "listen address")
-		maxActive  = flag.Int("max-active", 2, "jobs simulating concurrently; further jobs queue")
+		maxActive  = flag.Int("max-active", 2, "jobs simulating concurrently; further jobs queue in priority order")
 		workers    = flag.Int("workers", 0, "worker-pool size per job (0 = all cores)")
 		maxRuns    = flag.Int("max-runs", 10_000_000, "largest accepted per-point trajectory budget (0 = unlimited)")
 		maxJobs    = flag.Int("max-jobs", 256, "retained jobs; the oldest finished jobs (and their results) are evicted beyond this (0 = unlimited)")
-		maxPending = flag.Int("max-pending", 128, "unfinished jobs accepted before submissions are shed with 503 (0 = unlimited)")
+		maxPending = flag.Int("max-pending", 128, "unfinished jobs accepted before submissions are shed with 429 (0 = unlimited)")
+		dataDir    = flag.String("data-dir", "", "job-store directory; empty disables persistence (jobs and results do not survive restarts)")
+		cacheSize  = flag.Int("cache-entries", 1024, "result-cache entry bound (with -cache-mb 0 too: dedup-only mode)")
+		cacheMB    = flag.Int("cache-mb", 256, "result-cache payload bound in MiB")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-client submissions per second (0 = unlimited)")
+		rateBurst  = flag.Int("rate-burst", 10, "per-client submission burst capacity")
 	)
 	flag.Parse()
 
@@ -75,6 +108,21 @@ func main() {
 	s := newServer(ctx, *maxActive, *workers, *maxRuns)
 	s.maxJobs = *maxJobs
 	s.maxPending = *maxPending
+	s.cache = rescache.New(*cacheSize, int64(*cacheMB)<<20)
+	if *rateLimit > 0 {
+		s.limiter = newRateLimiter(*rateLimit, *rateBurst)
+	}
+	if *dataDir != "" {
+		store, err := jobstore.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsimd:", err)
+			os.Exit(1)
+		}
+		s.store = store
+		served, requeued := s.restore()
+		fmt.Fprintf(os.Stderr, "ddsimd: store %s: restored %d finished jobs, re-queued %d in-flight jobs\n",
+			*dataDir, served, requeued)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.handler(),
@@ -84,17 +132,22 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "ddsimd: listening on %s (max-active=%d workers=%d)\n",
-		*addr, *maxActive, *workers)
+	fmt.Fprintf(os.Stderr, "ddsimd: listening on %s (max-active=%d workers=%d data-dir=%q)\n",
+		*addr, *maxActive, *workers, *dataDir)
 
 	select {
 	case <-ctx.Done():
 		// Graceful drain: stop accepting, cancel jobs (ctx is the
-		// jobs' parent), wait for them to flush partial results.
+		// jobs' parent), wait for them to flush partial results. With
+		// a store attached, in-flight jobs keep their queued/running
+		// status on disk and resume on the next start.
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutCtx)
 		s.wait()
+		if s.store != nil {
+			_ = s.store.Close()
+		}
 		fmt.Fprintln(os.Stderr, "ddsimd: drained, bye")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

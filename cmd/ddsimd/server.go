@@ -5,13 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ddsim"
 	"ddsim/internal/dd"
+	"ddsim/internal/jobstore"
 	"ddsim/internal/qbench"
+	"ddsim/internal/rescache"
 	"ddsim/internal/telemetry"
 )
 
@@ -27,6 +31,11 @@ const (
 	// maxDenseQubits bounds the dense baselines, which allocate 2^n
 	// amplitudes per worker (26 → 1 GiB per statevec worker).
 	maxDenseQubits = 26
+	// maxPriority bounds the dispatch priority to ±maxPriority.
+	maxPriority = 100
+	// queueFullRetryAfter is the Retry-After hint (seconds) sent with
+	// 429 responses when the unfinished-job queue is at capacity.
+	queueFullRetryAfter = 5
 )
 
 // Job lifecycle states.
@@ -64,6 +73,11 @@ type jobSpec struct {
 	// stopping, ...). The OnProgress callback is owned by the server
 	// and feeds the SSE event stream.
 	Options ddsim.Options `json:"options"`
+	// Priority orders the dispatch queue: when simulation slots are
+	// contended, higher-priority jobs start first (ties break by
+	// submission order). Range ±100; default 0. Priority is not part
+	// of the job's cache identity.
+	Priority int `json:"priority,omitempty"`
 }
 
 // jobView is the JSON representation of a job returned by the API.
@@ -74,7 +88,9 @@ type jobView struct {
 	Qubits    int             `json:"qubits"`
 	Gates     int             `json:"gates"`
 	Backend   string          `json:"backend"`
+	Priority  int             `json:"priority,omitempty"`
 	Sweep     []float64       `json:"sweep,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
 	Submitted time.Time       `json:"submitted_at"`
 	Started   *time.Time      `json:"started_at,omitempty"`
 	Finished  *time.Time      `json:"finished_at,omitempty"`
@@ -83,15 +99,32 @@ type jobView struct {
 	Results   []*ddsim.Result `json:"results,omitempty"`
 }
 
-// job is one accepted submission and its lifecycle state.
+// job is one accepted submission and its lifecycle state. Jobs
+// restored from the store in a terminal state have a nil circ (the
+// circuit summary fields below serve the API without re-compiling)
+// and a no-op cancel.
 type job struct {
-	id      string
-	spec    jobSpec
-	circ    *ddsim.Circuit
-	models  []ddsim.NoiseModel
-	backend string
-	ctx     context.Context
-	cancel  context.CancelFunc
+	id       string
+	seq      int64 // dispatch tiebreak: submission order
+	spec     jobSpec
+	circ     *ddsim.Circuit
+	models   []ddsim.NoiseModel
+	backend  string
+	key      string // canonical content hash; "" = uncacheable
+	priority int
+	ctx      context.Context
+	cancel   context.CancelFunc
+
+	// userCancel distinguishes an explicit DELETE from a shutdown-
+	// induced context cancellation: only the former persists a
+	// terminal "cancelled" state (a shutdown leaves the job in-flight
+	// on disk so a restart re-queues it).
+	userCancel atomic.Bool
+
+	// circName/qubits/gates summarise the compiled circuit for views.
+	circName string
+	qubits   int
+	gates    int
 
 	mu        sync.Mutex
 	status    string
@@ -101,6 +134,7 @@ type job struct {
 	progress  *ddsim.Progress
 	results   []*ddsim.Result
 	errMsg    string
+	cached    bool // result served from the cache or an identical in-flight job
 	subs      map[chan ddsim.Progress]struct{}
 	done      chan struct{} // closed on reaching a terminal status
 }
@@ -143,11 +177,13 @@ func (j *job) view(includeResults bool) jobView {
 	v := jobView{
 		ID:        j.id,
 		Status:    j.status,
-		Circuit:   j.circ.Name,
-		Qubits:    j.circ.NumQubits,
-		Gates:     j.circ.GateCount(),
+		Circuit:   j.circName,
+		Qubits:    j.qubits,
+		Gates:     j.gates,
 		Backend:   j.backend,
+		Priority:  j.priority,
 		Sweep:     j.spec.Sweep,
+		Cached:    j.cached,
 		Submitted: j.submitted,
 		Error:     j.errMsg,
 		Progress:  j.progress,
@@ -175,11 +211,15 @@ func (j *job) terminal() bool {
 // server owns the job table and the HTTP handlers of ddsimd.
 type server struct {
 	baseCtx    context.Context
-	workers    int           // shared-pool size per job (0 = GOMAXPROCS)
-	maxRuns    int           // per-point trajectory budget ceiling
-	maxJobs    int           // retained jobs; oldest finished are evicted
-	maxPending int           // admission cap on queued+running jobs
-	slots      chan struct{} // bounds concurrently simulating jobs
+	workers    int // shared-pool size per job (0 = GOMAXPROCS)
+	maxRuns    int // per-point trajectory budget ceiling
+	maxJobs    int // retained jobs; oldest finished are evicted
+	maxPending int // admission cap on queued+running jobs
+
+	disp    *dispatcher     // priority-ordered simulation slots
+	store   *jobstore.Store // durable job/result persistence; nil = ephemeral
+	cache   *rescache.Cache // content-addressed result cache; nil = disabled
+	limiter *rateLimiter    // per-client submission rate limit; nil = off
 
 	pending atomic.Int64 // jobs whose run goroutine has not finished
 
@@ -194,18 +234,18 @@ type server struct {
 // newServer creates a server whose jobs are children of ctx (cancel
 // ctx to abort everything, e.g. on shutdown). maxActive bounds the
 // number of concurrently simulating jobs, workers the per-job pool
-// size, and maxRuns the accepted per-point trajectory budget.
+// size, and maxRuns the accepted per-point trajectory budget. The
+// returned server has no store, cache or rate limiter (all three are
+// optional); set them before serving requests — main.go constructs
+// them from flags, so the defaults live in exactly one place.
 func newServer(ctx context.Context, maxActive, workers, maxRuns int) *server {
-	if maxActive < 1 {
-		maxActive = 1
-	}
 	return &server{
 		baseCtx:    ctx,
 		workers:    workers,
 		maxRuns:    maxRuns,
 		maxJobs:    256,
 		maxPending: 128,
-		slots:      make(chan struct{}, maxActive),
+		disp:       newDispatcher(maxActive),
 		jobs:       make(map[string]*job),
 	}
 }
@@ -259,44 +299,38 @@ func resolveCircuit(spec circuitSpec) (*ddsim.Circuit, error) {
 	}
 }
 
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var spec jobSpec
-	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
+// compile validates a submission and builds its circuit and noise
+// points. It normalises spec in place (default backend). Every error
+// is a client error (the submission can never succeed).
+func (s *server) compile(spec *jobSpec) (*ddsim.Circuit, []ddsim.NoiseModel, error) {
 	// Bound the register before building anything: circuit
 	// construction is O(gates) and the handler runs it synchronously.
 	if spec.Circuit.N > maxQubits {
-		writeErr(w, http.StatusBadRequest, "circuit.n %d exceeds the %d-qubit limit",
+		return nil, nil, fmt.Errorf("circuit.n %d exceeds the %d-qubit limit",
 			spec.Circuit.N, maxQubits)
-		return
 	}
 	circ, err := resolveCircuit(spec.Circuit)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, nil, err
 	}
 	if circ.NumQubits > maxQubits {
-		writeErr(w, http.StatusBadRequest, "circuit has %d qubits, limit is %d",
+		return nil, nil, fmt.Errorf("circuit has %d qubits, limit is %d",
 			circ.NumQubits, maxQubits)
-		return
 	}
 	if spec.Backend == "" {
 		spec.Backend = ddsim.BackendDD
 	}
 	if _, err := ddsim.Factory(spec.Backend); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, nil, err
 	}
 	if spec.Backend != ddsim.BackendDD && circ.NumQubits > maxDenseQubits {
-		writeErr(w, http.StatusBadRequest,
+		return nil, nil, fmt.Errorf(
 			"backend %q allocates 2^n amplitudes per worker; %d qubits exceeds its %d-qubit limit",
 			spec.Backend, circ.NumQubits, maxDenseQubits)
-		return
+	}
+	if spec.Priority < -maxPriority || spec.Priority > maxPriority {
+		return nil, nil, fmt.Errorf("priority %d outside [%d, %d]",
+			spec.Priority, -maxPriority, maxPriority)
 	}
 	base := ddsim.NoNoise()
 	if spec.Noise != nil {
@@ -311,14 +345,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, m := range models {
 		if err := m.Validate(); err != nil {
-			writeErr(w, http.StatusBadRequest, "noise point %d: %v", i, err)
-			return
+			return nil, nil, fmt.Errorf("noise point %d: %v", i, err)
 		}
 	}
 	if s.maxRuns > 0 && spec.Options.Runs > s.maxRuns {
-		writeErr(w, http.StatusBadRequest, "options.runs %d exceeds the server limit %d",
+		return nil, nil, fmt.Errorf("options.runs %d exceeds the server limit %d",
 			spec.Options.Runs, s.maxRuns)
-		return
 	}
 	switch spec.Options.Checkpointing {
 	case "", ddsim.CheckpointAuto, ddsim.CheckpointOff:
@@ -326,31 +358,31 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// The sparse baseline has no fork support; reject at submit
 		// instead of failing the job after it queued.
 		if spec.Backend == ddsim.BackendSparse {
-			writeErr(w, http.StatusBadRequest,
+			return nil, nil, fmt.Errorf(
 				"options.checkpointing %q is unsupported by backend %q", ddsim.CheckpointOn, spec.Backend)
-			return
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, "options.checkpointing %q invalid (want %s, %s or %s)",
+		return nil, nil, fmt.Errorf("options.checkpointing %q invalid (want %s, %s or %s)",
 			spec.Options.Checkpointing, ddsim.CheckpointAuto, ddsim.CheckpointOn, ddsim.CheckpointOff)
-		return
 	}
+	return circ, models, nil
+}
 
-	// Admission control: beyond maxPending unfinished jobs, shed load
-	// instead of growing the queue (goroutines, contexts, job state)
-	// without bound.
-	if s.maxPending > 0 && s.pending.Load() >= int64(s.maxPending) {
-		writeErr(w, http.StatusServiceUnavailable,
-			"job queue full (%d unfinished jobs); retry later", s.maxPending)
-		return
-	}
-
+// newJob builds the in-memory job for a compiled submission and
+// allocates its id. The job is NOT yet in the table — the caller
+// persists it first and then calls publish, so a submission that
+// fails persistence (500) is never observable via the API.
+func (s *server) newJob(spec jobSpec, circ *ddsim.Circuit, models []ddsim.NoiseModel) *job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
 		spec:      spec,
 		circ:      circ,
 		models:    models,
 		backend:   spec.Backend,
+		priority:  spec.Priority,
+		circName:  circ.Name,
+		qubits:    circ.NumQubits,
+		gates:     circ.GateCount(),
 		ctx:       ctx,
 		cancel:    cancel,
 		status:    statusQueued,
@@ -358,13 +390,100 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		subs:      make(map[chan ddsim.Progress]struct{}),
 		done:      make(chan struct{}),
 	}
+	// The canonical content hash keys the result cache and in-flight
+	// dedup. Circuits the QASM writer cannot express have no key and
+	// bypass caching.
+	if key, err := ddsim.JobKey(circ, spec.Backend, models, spec.Options); err == nil {
+		j.key = key
+	}
 	s.mu.Lock()
 	s.next++
 	j.id = fmt.Sprintf("j%d", s.next)
+	j.seq = int64(s.next)
+	s.mu.Unlock()
+	return j
+}
+
+// publish inserts an accepted (and, with a store, persisted) job
+// into the table, making it visible to the API.
+func (s *server) publish(j *job) {
+	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.pruneLocked()
+	evicted := s.pruneLocked()
 	s.mu.Unlock()
+	s.evictFromStore(evicted)
+}
+
+// record renders the job's durable submission record.
+func (j *job) record() jobstore.Record {
+	spec, _ := json.Marshal(j.spec)
+	return jobstore.Record{
+		ID:        j.id,
+		Spec:      spec,
+		Priority:  j.priority,
+		Submitted: j.submitted,
+		Circuit:   j.circName,
+		Qubits:    j.qubits,
+		Gates:     j.gates,
+		Backend:   j.backend,
+	}
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission stage 1: per-client token bucket. A client over its
+	// submission rate is told when to come back.
+	if s.limiter != nil {
+		if ok, wait := s.limiter.allow(clientKey(r), time.Now()); !ok {
+			telemetry.JobsRejected.With("rate_limit").Inc()
+			secs := int(wait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeErr(w, http.StatusTooManyRequests,
+				"submission rate limit exceeded; retry in %ds", secs)
+			return
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec jobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	circ, models, err := s.compile(&spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission stage 2: beyond maxPending unfinished jobs, shed load
+	// instead of growing the queue (goroutines, contexts, job state)
+	// without bound.
+	if s.maxPending > 0 && s.pending.Load() >= int64(s.maxPending) {
+		telemetry.JobsRejected.With("queue_full").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(queueFullRetryAfter))
+		writeErr(w, http.StatusTooManyRequests,
+			"job queue full (%d unfinished jobs); retry later", s.maxPending)
+		return
+	}
+
+	j := s.newJob(spec, circ, models)
+	if s.store != nil {
+		if err := s.store.PutJob(j.record()); err != nil {
+			// The durability contract is broken; refuse the job rather
+			// than accept work that a restart would silently lose. The
+			// job was never published, so nothing observed it; the
+			// store delete sweeps up a record file that may have
+			// landed before the WAL append failed (a surviving record
+			// would be recovered as queued on the next restart).
+			j.cancel()
+			_ = s.store.Delete(j.id)
+			writeErr(w, http.StatusInternalServerError, "persist job: %v", err)
+			return
+		}
+	}
+	s.publish(j)
 
 	telemetry.JobsQueued.Inc()
 	s.pending.Add(1)
@@ -381,25 +500,34 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// run drives one job through its lifecycle: wait for an active slot,
-// execute every noise point through one shared worker pool, record the
-// outcome. Cancelling the job context at any stage aborts cleanly —
-// while queued the job just flips to cancelled, while running the
-// engine returns the partial results with Interrupted set.
+// run drives one job through its lifecycle: resolve it against the
+// result cache (serve a hit instantly, or join an identical in-flight
+// job), otherwise wait for a simulation slot in priority order,
+// execute every noise point through one shared worker pool, record
+// and persist the outcome, and settle the cache flight. Cancelling
+// the job context at any stage aborts cleanly — while queued the job
+// just flips to cancelled, while running the engine returns the
+// partial results with Interrupted set.
 func (s *server) run(j *job) {
 	defer s.wg.Done()
 	defer s.pending.Add(-1)
 	// Release the job's context registration in baseCtx once the job
 	// is over, whether or not anyone ever called DELETE.
 	defer j.cancel()
-	select {
-	case <-j.ctx.Done():
-		telemetry.JobsQueued.Dec()
-		j.complete(nil, nil)
+
+	finished, leader := s.serveCached(j)
+	if finished {
 		return
-	case s.slots <- struct{}{}:
 	}
-	defer func() { <-s.slots }()
+	if err := s.disp.acquire(j.ctx, j.priority, j.seq); err != nil {
+		telemetry.JobsQueued.Dec()
+		s.finalize(j, nil, nil)
+		if leader {
+			s.cache.Abort(j.key)
+		}
+		return
+	}
+	defer s.disp.release()
 
 	telemetry.JobsQueued.Dec()
 	telemetry.JobsRunning.Inc()
@@ -407,6 +535,9 @@ func (s *server) run(j *job) {
 	j.status = statusRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	if s.store != nil {
+		_ = s.store.SetStatus(j.id, statusRunning)
+	}
 
 	batch := make([]ddsim.BatchJob, len(j.models))
 	for i, m := range j.models {
@@ -416,7 +547,138 @@ func (s *server) run(j *job) {
 	}
 	results, err := ddsim.BatchSimulate(j.ctx, j.backend, batch, s.workers)
 	telemetry.JobsRunning.Dec()
+	s.finalize(j, results, err)
+	if leader {
+		if payload, ok := j.cachePayload(); ok {
+			s.cache.Complete(j.key, payload)
+		} else {
+			s.cache.Abort(j.key)
+		}
+	}
+}
+
+// serveCached resolves a job against the result cache per the
+// rescache protocol. It returns finished=true when the job reached a
+// terminal state without simulating (cache hit, dedup join, or
+// cancellation while waiting on one); otherwise the caller must
+// simulate, and leader=true obliges it to settle the flight with
+// Complete or Abort.
+func (s *server) serveCached(j *job) (finished, leader bool) {
+	if s.cache == nil || j.key == "" {
+		return false, false
+	}
+	for {
+		// A definitively cancelled job (DELETE before this goroutine
+		// got here, or shutdown) must terminate as cancelled — a
+		// cache hit must not overrule an acknowledged cancellation.
+		if j.ctx.Err() != nil {
+			telemetry.JobsQueued.Dec()
+			s.finalize(j, nil, nil)
+			return true, false
+		}
+		val, ch, outcome := s.cache.GetOrJoin(j.key)
+		switch outcome {
+		case rescache.Hit:
+			return s.finishFromCache(j, val), false
+		case rescache.Join:
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					continue // leader aborted: retry (maybe lead now)
+				}
+				return s.finishFromCache(j, v), false
+			case <-j.ctx.Done():
+				s.cache.Leave(j.key, ch)
+				telemetry.JobsQueued.Dec()
+				s.finalize(j, nil, nil)
+				return true, false
+			}
+		default: // rescache.Lead
+			return false, true
+		}
+	}
+}
+
+// finishFromCache completes a job with a cached payload, marking it
+// done without burning any trajectories. A payload that fails to
+// decode (cannot happen with payloads this process wrote) reports
+// false and the job simulates normally.
+func (s *server) finishFromCache(j *job, payload []byte) bool {
+	var results []*ddsim.Result
+	if err := json.Unmarshal(payload, &results); err != nil || len(results) == 0 {
+		return false
+	}
+	telemetry.JobsQueued.Dec()
+	now := time.Now()
+	j.mu.Lock()
+	j.status = statusDone
+	j.started = now
+	j.finished = now
+	j.results = results
+	j.cached = true
+	j.mu.Unlock()
+	telemetry.JobsDone.With(statusDone).Inc()
+	close(j.done)
+	s.persistFinal(j)
+	return true
+}
+
+// cachePayload marshals the job's results for the cache, but only
+// when they are a pure function of the job key: a clean, complete,
+// un-truncated success. Partial, failed, interrupted or timed-out
+// outcomes must never be served to a later identical submission.
+func (j *job) cachePayload() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != statusDone || j.errMsg != "" || len(j.results) == 0 {
+		return nil, false
+	}
+	for _, r := range j.results {
+		if r == nil || r.Interrupted || r.TimedOut {
+			return nil, false
+		}
+	}
+	payload, err := json.Marshal(j.results)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// finalize records a job's terminal state and persists it.
+func (s *server) finalize(j *job, results []*ddsim.Result, err error) {
 	j.complete(results, err)
+	s.persistFinal(j)
+}
+
+// persistFinal writes the job's terminal state to the store. A
+// cancellation that was *not* an explicit DELETE — i.e. the server is
+// shutting down or crashed — is deliberately not persisted: the WAL
+// keeps the job's last in-flight status, so the next start re-queues
+// and re-runs it (same seed, bit-identical result).
+func (s *server) persistFinal(j *job) {
+	if s.store == nil {
+		return
+	}
+	j.mu.Lock()
+	f := jobstore.Final{
+		Status:   j.status,
+		Error:    j.errMsg,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if len(j.results) > 0 {
+		if data, err := json.Marshal(j.results); err == nil {
+			f.Results = data
+		}
+	}
+	j.mu.Unlock()
+	if f.Status == statusCancelled && !j.userCancel.Load() {
+		return
+	}
+	if err := s.store.PutFinal(j.id, f); err != nil {
+		fmt.Fprintf(os.Stderr, "ddsimd: persist final state of %s: %v\n", j.id, err)
+	}
 }
 
 // complete records the terminal state of a job and wakes up every
@@ -461,26 +723,45 @@ func allResultsClean(results []*ddsim.Result) bool {
 }
 
 // pruneLocked evicts the oldest finished jobs (and their retained
-// results) once more than maxJobs are tracked. Queued and running
-// jobs are never evicted — their population is bounded separately by
-// the maxPending admission check — so a long-lived server stays at
-// bounded memory. Caller holds s.mu.
-func (s *server) pruneLocked() {
+// results) once more than maxJobs are tracked, returning the evicted
+// ids. Queued and running jobs are never evicted — their population
+// is bounded separately by the maxPending admission check — so a
+// long-lived server stays at bounded memory. Caller holds s.mu and
+// must pass the returned ids to evictFromStore *after* unlocking:
+// the store deletion fsyncs, and an fsync under s.mu would stall
+// every HTTP handler.
+func (s *server) pruneLocked() []string {
 	if s.maxJobs <= 0 || len(s.order) <= s.maxJobs {
-		return
+		return nil
 	}
+	var evicted []string
 	excess := len(s.order) - s.maxJobs
 	kept := s.order[:0]
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if excess > 0 && j.terminal() {
 			delete(s.jobs, id)
+			evicted = append(evicted, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	return evicted
+}
+
+// evictFromStore forgets evicted jobs durably, so a restart doesn't
+// resurrect them. Call without holding s.mu.
+func (s *server) evictFromStore(ids []string) {
+	if s.store == nil {
+		return
+	}
+	for _, id := range ids {
+		if err := s.store.Delete(id); err != nil {
+			fmt.Fprintf(os.Stderr, "ddsimd: evict %s from store: %v\n", id, err)
+		}
+	}
 }
 
 func anyResult(results []*ddsim.Result) bool {
@@ -533,9 +814,16 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.terminal() {
-		writeJSON(w, http.StatusOK, j.view(true))
+		// Documented no-op: cancelling a job that already reached a
+		// terminal state (including one restored from the store after
+		// a restart) changes nothing and succeeds with 200.
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "status": st, "noop": true})
 		return
 	}
+	j.userCancel.Store(true)
 	j.cancel()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": "cancelling"})
 }
@@ -544,12 +832,19 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	h := map[string]any{
 		"status":       "ok",
 		"jobs":         n,
 		"jobs_queued":  telemetry.JobsQueued.Value(),
 		"jobs_running": telemetry.JobsRunning.Value(),
-	})
+		"persistence":  s.store != nil,
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		h["cache_entries"] = cs.Entries
+		h["cache_bytes"] = cs.Bytes
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleEvents streams a job's Progress snapshots as server-sent

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"ddsim/internal/rescache"
 	"ddsim/internal/telemetry"
 )
 
@@ -22,6 +23,7 @@ func newTestServer(t *testing.T, maxActive int) (*httptest.Server, *server) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := newServer(ctx, maxActive, 2, 10_000_000)
+	s.cache = rescache.New(1024, 256<<20)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -433,6 +435,8 @@ func TestSubmissionValidation(t *testing.T) {
 		{"qasm qubits over limit", `{"circuit": {"qasm": "OPENQASM 2.0;\nqreg q[70];\n"}}`},
 		{"dense backend too large", `{"circuit": {"name": "ghz", "n": 40}, "backend": "statevec"}`},
 		{"bad checkpointing mode", `{"circuit": {"name": "ghz", "n": 3}, "options": {"runs": 10, "checkpointing": "maybe"}}`},
+		{"priority out of range", `{"circuit": {"name": "ghz", "n": 3}, "options": {"runs": 10}, "priority": 101}`},
+		{"priority below range", `{"circuit": {"name": "ghz", "n": 3}, "options": {"runs": 10}, "priority": -101}`},
 		{"checkpointing on sparse", `{"circuit": {"name": "ghz", "n": 3}, "backend": "sparse", "options": {"runs": 10, "checkpointing": "on"}}`},
 	}
 	for _, tc := range cases {
@@ -488,7 +492,8 @@ func TestFinishedJobEviction(t *testing.T) {
 }
 
 // TestSubmissionBackpressure checks admission control: beyond
-// maxPending unfinished jobs, submissions are shed with 503.
+// maxPending unfinished jobs, submissions are shed with 429 and a
+// Retry-After hint.
 func TestSubmissionBackpressure(t *testing.T) {
 	ts, s := newTestServer(t, 1)
 	s.maxPending = 1
@@ -502,8 +507,11 @@ func TestSubmissionBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity submit: status = %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
 	}
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+blocker, nil)
 	dresp, err := http.DefaultClient.Do(req)

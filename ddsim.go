@@ -94,6 +94,8 @@ package ddsim
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"ddsim/internal/circuit"
@@ -234,6 +236,48 @@ func BatchSimulate(ctx context.Context, backend string, jobs []BatchJob, workers
 		return nil, err
 	}
 	return stochastic.RunBatch(ctx, f, jobs, workers)
+}
+
+// JobKey returns the canonical content-addressed identity of a
+// stochastic simulation job: a hex-encoded SHA-256 over the circuit's
+// canonical OpenQASM text (WriteQASM; Write∘Parse is a fixpoint, so
+// equivalent submissions hash equally regardless of formatting), the
+// backend identifier, every noise point of the job (a sweep passes
+// all its scaled models, a single run a one-element slice), and the
+// result-relevant options in canonical form (Options.Canonical —
+// Workers, Checkpointing and the progress knobs are excluded because
+// results are bit-identical across them).
+//
+// Because the engine is deterministic — run j always uses RNG seed
+// Seed+j and reductions happen in run order — two jobs with equal
+// keys produce bit-identical Results, which makes the key safe to use
+// for result caching and in-flight deduplication (the ddsimd service
+// does both; see internal/rescache). Circuits containing an op the
+// QASM writer cannot express return an error; such jobs simply have
+// no canonical identity and must not be cached.
+func JobKey(c *Circuit, backend string, models []NoiseModel, opts Options) (string, error) {
+	src, err := WriteQASM(c)
+	if err != nil {
+		return "", fmt.Errorf("ddsim: job key: %w", err)
+	}
+	o := opts.Canonical()
+	h := sha256.New()
+	// The serialisation below is a stable wire format: field order and
+	// formatting must never change, or every persisted cache key would
+	// be invalidated. Extend only by appending new fields (and bump
+	// the version tag when doing so).
+	fmt.Fprintf(h, "ddsim-job-v1\nbackend=%s\nqasm=%d:%s\n", backend, len(src), src)
+	for _, m := range models {
+		fmt.Fprintf(h, "noise=%.17g,%.17g,%.17g,%t\n",
+			m.Depolarizing, m.Damping, m.PhaseFlip, m.DampingAsEvent)
+	}
+	fmt.Fprintf(h, "runs=%d\nseed=%d\nshots=%d\nfidelity=%t\ntimeout=%d\naccuracy=%.17g\nconfidence=%.17g\nchunk=%d\n",
+		o.Runs, o.Seed, o.Shots, o.TrackFidelity, int64(o.Timeout),
+		o.TargetAccuracy, o.TargetConfidence, o.ChunkSize)
+	for _, t := range o.TrackStates {
+		fmt.Fprintf(h, "track=%d\n", t)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // NewBackend compiles a circuit for one backend and returns the

@@ -150,3 +150,59 @@ cx q[0],q[1];
 	// 2 qubits, 2 gates
 	// P(|00⟩) = 0.50, P(|11⟩) = 0.50
 }
+
+// ExampleJobKey derives the content-addressed identity of a job —
+// the key the ddsimd service uses for its result cache and in-flight
+// deduplication. Only result-relevant inputs feed the hash: changing
+// the worker count, progress cadence or checkpoint mode (results are
+// bit-identical across all of them) leaves the key unchanged, while
+// changing the seed produces a different job.
+func ExampleJobKey() {
+	c := ddsim.GHZ(4)
+	models := []ddsim.NoiseModel{ddsim.PaperNoise()}
+
+	a, err := ddsim.JobKey(c, ddsim.BackendDD, models, ddsim.Options{Runs: 1000, Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Performance knobs do not change what is computed:
+	b, _ := ddsim.JobKey(c, ddsim.BackendDD, models, ddsim.Options{
+		Runs:          1000,
+		Seed:          7,
+		Workers:       32,
+		ProgressEvery: 1,
+		Checkpointing: ddsim.CheckpointOff,
+	})
+	// A different seed is a different Monte-Carlo experiment:
+	d, _ := ddsim.JobKey(c, ddsim.BackendDD, models, ddsim.Options{Runs: 1000, Seed: 8})
+
+	fmt.Println("hex length:", len(a))
+	fmt.Println("same job despite different knobs:", a == b)
+	fmt.Println("different seed, same key:", a == d)
+	// Output:
+	// hex length: 64
+	// same job despite different knobs: true
+	// different seed, same key: false
+}
+
+// ExampleOptions_Canonical shows the canonicalisation underneath
+// JobKey: the result-relevant fields survive with engine defaults
+// filled in, and everything that only changes *how* the work is done
+// (workers, progress callbacks, checkpointing) is discarded.
+func ExampleOptions_Canonical() {
+	opts := ddsim.Options{
+		Seed:          3,
+		Workers:       16,  // execution knob: dropped
+		ProgressEvery: 128, // observation knob: dropped
+		TrackStates:   []uint64{0},
+	}
+	c := opts.Canonical()
+	fmt.Printf("runs=%d shots=%d chunk=%d confidence=%.2f\n",
+		c.Runs, c.Shots, c.ChunkSize, c.TargetConfidence)
+	fmt.Printf("workers=%d progress_every=%d track=%v\n",
+		c.Workers, c.ProgressEvery, c.TrackStates)
+	// Output:
+	// runs=1 shots=1 chunk=64 confidence=0.95
+	// workers=0 progress_every=0 track=[0]
+}

@@ -1,0 +1,236 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// lead asserts the next GetOrJoin on key makes the caller leader.
+func lead(t *testing.T, c *Cache, key string) {
+	t.Helper()
+	_, _, outcome := c.GetOrJoin(key)
+	if outcome != Lead {
+		t.Fatalf("GetOrJoin(%q) = %v, want lead", key, outcome)
+	}
+}
+
+func TestHitAfterComplete(t *testing.T) {
+	c := New(10, 1<<20)
+	lead(t, c, "k")
+	c.Complete("k", []byte("payload"))
+
+	val, ch, outcome := c.GetOrJoin("k")
+	if outcome != Hit || string(val) != "payload" || ch != nil {
+		t.Fatalf("GetOrJoin = (%q, %v, %v), want cached payload", val, ch, outcome)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != int64(len("payload")) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJoinReceivesLeaderValue(t *testing.T) {
+	c := New(10, 1<<20)
+	lead(t, c, "k")
+	var chans []<-chan []byte
+	for i := 0; i < 3; i++ {
+		_, ch, outcome := c.GetOrJoin("k")
+		if outcome != Join || ch == nil {
+			t.Fatalf("follower %d: outcome %v", i, outcome)
+		}
+		chans = append(chans, ch)
+	}
+	c.Complete("k", []byte("v"))
+	for i, ch := range chans {
+		v, ok := <-ch
+		if !ok || string(v) != "v" {
+			t.Fatalf("follower %d received (%q, %v)", i, v, ok)
+		}
+		if _, ok := <-ch; ok {
+			t.Fatalf("follower %d channel not closed after value", i)
+		}
+	}
+	if st := c.Stats(); st.Joins != 3 {
+		t.Fatalf("joins = %d, want 3", st.Joins)
+	}
+}
+
+func TestAbortSignalsRetry(t *testing.T) {
+	c := New(10, 1<<20)
+	lead(t, c, "k")
+	_, ch, _ := c.GetOrJoin("k")
+	c.Abort("k")
+	if _, ok := <-ch; ok {
+		t.Fatal("abort delivered a value")
+	}
+	// After the abort the key is free: the follower retries and leads.
+	lead(t, c, "k")
+	if _, hit, _ := c.GetOrJoin(""); hit != nil {
+		t.Fatal("unexpected channel")
+	}
+}
+
+func TestLeaveUnsubscribes(t *testing.T) {
+	c := New(10, 1<<20)
+	lead(t, c, "k")
+	_, ch, _ := c.GetOrJoin("k")
+	c.Leave("k", ch)
+	c.Complete("k", []byte("v")) // must not panic or block on the left channel
+	select {
+	case v, ok := <-ch:
+		if ok {
+			t.Fatalf("left subscriber still received %q", v)
+		}
+	default:
+		// Channel neither closed nor sent: also acceptable — the
+		// subscriber is gone either way.
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := New(2, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		lead(t, c, k)
+		c.Complete(k, []byte(k))
+	}
+	// "a" is the LRU victim.
+	if _, _, outcome := c.GetOrJoin("a"); outcome != Lead {
+		t.Fatalf("evicted key a: outcome %v, want lead", outcome)
+	}
+	c.Abort("a")
+	for _, k := range []string{"b", "c"} {
+		if _, _, outcome := c.GetOrJoin(k); outcome != Hit {
+			t.Fatalf("key %s: outcome %v, want hit", k, outcome)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	c := New(2, 0)
+	for _, k := range []string{"a", "b"} {
+		lead(t, c, k)
+		c.Complete(k, []byte(k))
+	}
+	c.GetOrJoin("a") // touch: "b" becomes LRU
+	lead(t, c, "c")
+	c.Complete("c", []byte("c"))
+	if _, _, outcome := c.GetOrJoin("a"); outcome != Hit {
+		t.Fatal("touched entry was evicted")
+	}
+	if _, _, outcome := c.GetOrJoin("b"); outcome != Lead {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(0, 10)
+	lead(t, c, "a")
+	c.Complete("a", []byte("12345678")) // 8 bytes
+	lead(t, c, "b")
+	c.Complete("b", []byte("1234")) // 12 total: evict "a"
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 4 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, _, outcome := c.GetOrJoin("b"); outcome != Hit {
+		t.Fatal("surviving entry lost")
+	}
+}
+
+func TestOversizedValueNotStored(t *testing.T) {
+	c := New(0, 4)
+	lead(t, c, "k")
+	c.Complete("k", []byte("too large"))
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized value stored: %+v", st)
+	}
+}
+
+func TestDedupOnlyMode(t *testing.T) {
+	c := New(0, 0)
+	lead(t, c, "k")
+	_, ch, outcome := c.GetOrJoin("k")
+	if outcome != Join {
+		t.Fatalf("dedup-only mode lost the flight: %v", outcome)
+	}
+	c.Complete("k", []byte("v"))
+	if v, ok := <-ch; !ok || string(v) != "v" {
+		t.Fatalf("follower got (%q, %v)", v, ok)
+	}
+	// Nothing is stored: the next lookup leads again.
+	lead(t, c, "k")
+}
+
+// TestConcurrentSingleflight hammers one key from many goroutines:
+// exactly one computation must run per settled flight and every
+// follower must observe the value (run with -race).
+func TestConcurrentSingleflight(t *testing.T) {
+	c := New(16, 1<<20)
+	const goroutines = 32
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				val, ch, outcome := c.GetOrJoin("k")
+				switch outcome {
+				case Hit:
+					if string(val) != "v" {
+						t.Errorf("hit with %q", val)
+					}
+					return
+				case Join:
+					if v, ok := <-ch; ok {
+						if string(v) != "v" {
+							t.Errorf("join got %q", v)
+						}
+						return
+					}
+					// aborted: retry
+				case Lead:
+					computed.Add(1)
+					c.Complete("k", []byte("v"))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if computed.Load() != 1 {
+		t.Fatalf("%d computations ran, want 1", computed.Load())
+	}
+}
+
+// TestConcurrentMixedKeys exercises the LRU under parallel churn.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(8, 1<<10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				_, ch, outcome := c.GetOrJoin(k)
+				switch outcome {
+				case Lead:
+					c.Complete(k, []byte(k))
+				case Join:
+					<-ch
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 8 || st.Bytes > 1<<10 {
+		t.Fatalf("bounds violated: %+v", st)
+	}
+}

@@ -92,6 +92,52 @@ type Options struct {
 	ChunkSize int `json:"chunk_size,omitempty"`
 }
 
+// Canonical returns a copy of o reduced to the fields that determine
+// the numerical content of a Result, with engine defaults filled in —
+// the options half of a job's content-addressed identity (see
+// ddsim.JobKey). Two option sets with equal Canonical forms produce
+// bit-identical Results for the same circuit, backend and noise
+// model, so canonicalisation deliberately discards every knob that
+// changes only *how* the work is done:
+//
+//   - Workers and Checkpointing are dropped (results are bit-identical
+//     across worker counts and checkpoint modes by construction);
+//   - OnProgress and ProgressEvery are dropped (observation only);
+//   - Runs, Shots and ChunkSize are normalised to the engine defaults
+//     (ChunkSize is kept: chunk boundaries set the floating-point
+//     reduction order, so it is result-relevant);
+//   - TargetConfidence is normalised to its 0.95 default (it feeds
+//     Result.ConfidenceRadius even without adaptive stopping);
+//   - TrackStates is copied, with an empty slice canonicalised to nil.
+func (o Options) Canonical() Options {
+	c := Options{
+		Runs:             o.Runs,
+		Seed:             o.Seed,
+		Shots:            o.Shots,
+		TrackFidelity:    o.TrackFidelity,
+		Timeout:          o.Timeout,
+		TargetAccuracy:   o.TargetAccuracy,
+		TargetConfidence: o.TargetConfidence,
+		ChunkSize:        o.ChunkSize,
+	}
+	if len(o.TrackStates) > 0 {
+		c.TrackStates = append([]uint64(nil), o.TrackStates...)
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.Shots <= 0 {
+		c.Shots = 1
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = defaultChunkSize
+	}
+	if c.TargetConfidence == 0 {
+		c.TargetConfidence = 0.95
+	}
+	return c
+}
+
 func (o *Options) normalize() {
 	if o.Runs <= 0 {
 		o.Runs = 1

@@ -83,6 +83,44 @@ var (
 		"Service jobs currently simulating.")
 	JobsDone = NewCounterVec("ddsim_jobs_done_total",
 		"Service jobs finished, by terminal status.", "status")
+
+	// JobsRejected counts submissions refused by admission control,
+	// labelled by reason: "rate_limit" (per-client token bucket) or
+	// "queue_full" (unfinished-job bound); both are answered 429.
+	JobsRejected = NewCounterVec("ddsim_jobs_rejected_total",
+		"Service submissions refused by admission control, by reason.", "reason")
+
+	// JobsRecovered counts jobs reconstructed from the job store at
+	// startup, labelled by outcome: "served" (terminal state replayed
+	// from disk), "requeued" (in flight at the crash; re-run) or
+	// "failed" (the spec no longer compiles under the current server
+	// limits; recorded as permanently failed).
+	JobsRecovered = NewCounterVec("ddsim_jobs_recovered_total",
+		"Jobs reconstructed from the on-disk store at startup, by outcome.", "outcome")
+
+	// WALAppends counts fsync'd appends to the job store's write-ahead
+	// log (one per durable status transition).
+	WALAppends = NewCounter("ddsim_jobstore_wal_appends_total",
+		"Fsync'd write-ahead-log appends in the job store.")
+
+	// ResCacheHits / ResCacheMisses / ResCacheJoins classify result-
+	// cache lookups: served from cache, led to a fresh simulation, or
+	// deduplicated onto an identical in-flight job.
+	ResCacheHits = NewCounter("ddsim_rescache_hits_total",
+		"Result-cache lookups served from the cache.")
+	ResCacheMisses = NewCounter("ddsim_rescache_misses_total",
+		"Result-cache lookups that led a fresh simulation.")
+	ResCacheJoins = NewCounter("ddsim_rescache_dedup_joins_total",
+		"Result-cache lookups deduplicated onto an in-flight identical job.")
+
+	// ResCacheEvictions counts entries dropped by the cache's LRU
+	// bounds; ResCacheEntries / ResCacheBytes are the live population.
+	ResCacheEvictions = NewCounter("ddsim_rescache_evictions_total",
+		"Result-cache entries evicted by the LRU bounds.")
+	ResCacheEntries = NewGauge("ddsim_rescache_entries",
+		"Result-cache entries currently held.")
+	ResCacheBytes = NewGauge("ddsim_rescache_bytes",
+		"Total payload bytes currently held by the result cache.")
 )
 
 // hitRate returns hits/lookups as a percentage, or 0 when idle.

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# check_docs.sh — documentation consistency gate, run by CI (docs job)
+# and locally via `bash scripts/check_docs.sh` from the repo root.
+#
+# 1. Every relative markdown link in README.md and docs/*.md must
+#    resolve to an existing file (anchors are stripped; external
+#    http(s) links are not fetched).
+# 2. Every HTTP route registered in cmd/ddsimd/server.go must be
+#    documented in docs/API.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative link check -------------------------------------------------
+# Markdown resolves relative links against the containing document's
+# directory, and only there — a link that happens to resolve from the
+# repo root but not from the doc is broken when rendered.
+for doc in README.md docs/*.md; do
+  # Extract [text](target) targets, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"          # strip anchor
+    [ -z "$path" ] && continue    # pure in-page anchor
+    base="$(dirname "$doc")"
+    if [ ! -e "$base/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. route coverage in docs/API.md --------------------------------------
+# Routes are registered as mux.HandleFunc("METHOD /path", ...) or
+# mux.Handle("METHOD /path", ...) in server.go.
+routes="$(grep -oE '"(GET|POST|PUT|DELETE|PATCH) [^"]+"' cmd/ddsimd/server.go | tr -d '"' | sort -u)"
+if [ -z "$routes" ]; then
+  echo "NO ROUTES FOUND in cmd/ddsimd/server.go — checker broken?" >&2
+  exit 1
+fi
+while IFS= read -r route; do
+  method="${route%% *}"
+  path="${route#* }"
+  # Method and path must co-occur on one line (the routes table or a
+  # section heading); docs/API.md writes path parameters exactly as
+  # registered ({id}).
+  if ! awk -v m="$method" -v p="$path" 'index($0, m) && index($0, p) { found = 1 } END { exit !found }' docs/API.md; then
+    echo "UNDOCUMENTED ROUTE: $method $path missing from docs/API.md" >&2
+    fail=1
+  fi
+done <<< "$routes"
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED" >&2
+  exit 1
+fi
+echo "docs check OK: links resolve, all $(wc -l <<< "$routes") ddsimd routes documented"
