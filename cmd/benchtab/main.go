@@ -25,6 +25,14 @@
 //
 //	benchtab -table all -runs 10 -budget 5s -quiet -json BENCH_pr.json
 //
+// Exact mode (-mode exact) measures the deterministic density-matrix
+// engine instead of the stochastic one: each cell is one exact pass,
+// with one column per representation (-exact-backend ddensity,
+// density, or empty for both) — the paper's stochastic-versus-
+// deterministic trade-off regenerated on the same workloads:
+//
+//	benchtab -table 1a -mode exact -sizes-1a 6,8,10,12,14
+//
 // Ctrl-C interrupts cleanly: finished cells keep their numbers,
 // interrupted cells are marked, -json still writes the partial tables
 // (flagged "interrupted"), and the exit status is 130. Unless -quiet
@@ -60,6 +68,8 @@ func main() {
 		accuracy   = flag.Float64("accuracy", 0, "adaptive stopping per cell: run only the trajectories Theorem 1 requires for this ε (0 = always run -runs)")
 		confidence = flag.Float64("confidence", 0.95, "confidence level 1−δ for -accuracy")
 		checkpoint = flag.String("checkpoint", ddsim.CheckpointAuto, "trajectory checkpointing per cell: auto, on (fails backends without fork support), off; cells are bit-identical either way")
+		mode       = flag.String("mode", ddsim.ModeStochastic, "engine per cell: stochastic (Monte-Carlo over the three backends) or exact (deterministic density-matrix passes)")
+		exactBack  = flag.String("exact-backend", "", "exact-mode representation column(s): ddensity, density, or empty for both")
 		jsonPath   = flag.String("json", "", "also write the regenerated tables and a telemetry digest as JSON to this path (the BENCH_pr.json format)")
 		sizesA     = flag.String("sizes-1a", "8,12,16,20,22,24,28,32,48,64", "entanglement qubit counts")
 		sizesB     = flag.String("sizes-1b", "8,10,12,14,16,18,20,24,28,32", "QFT qubit counts")
@@ -71,6 +81,29 @@ func main() {
 
 	if *budget == 0 {
 		*budget = qbench.DefaultBudget
+	}
+	switch *mode {
+	case ddsim.ModeStochastic, ddsim.ModeExact:
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown mode %q (want %s or %s)\n",
+			*mode, ddsim.ModeStochastic, ddsim.ModeExact)
+		os.Exit(1)
+	}
+	var exactBackends []string
+	if *exactBack != "" {
+		for _, b := range strings.Split(*exactBack, ",") {
+			b = strings.TrimSpace(b)
+			valid := false
+			for _, known := range ddsim.ExactBackends() {
+				valid = valid || b == known
+			}
+			if !valid {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown exact backend %q (want %s)\n",
+					b, strings.Join(ddsim.ExactBackends(), " or "))
+				os.Exit(1)
+			}
+			exactBackends = append(exactBackends, b)
+		}
 	}
 	runner := &qbench.Runner{
 		Backends: []qbench.NamedFactory{
@@ -87,6 +120,8 @@ func main() {
 		TargetAccuracy:   *accuracy,
 		TargetConfidence: *confidence,
 		Checkpointing:    *checkpoint,
+		Mode:             *mode,
+		ExactBackends:    exactBackends,
 	}
 	if !*quiet {
 		runner.Verbose = func(format string, args ...interface{}) {
@@ -94,8 +129,13 @@ func main() {
 		}
 	}
 
-	fmt.Printf("stochastic noisy simulation: M=%d runs/cell, budget=%s/cell, noise %s, checkpointing %s\n\n",
-		*runs, *budget, noise.PaperDefaults(), *checkpoint)
+	if *mode == ddsim.ModeExact {
+		fmt.Printf("exact deterministic simulation: one density-matrix pass/cell, budget=%s/cell, noise %s\n\n",
+			*budget, noise.PaperDefaults())
+	} else {
+		fmt.Printf("stochastic noisy simulation: M=%d runs/cell, budget=%s/cell, noise %s, checkpointing %s\n\n",
+			*runs, *budget, noise.PaperDefaults(), *checkpoint)
+	}
 
 	var tables []*qbench.Table
 	collect := func(t *qbench.Table) {
@@ -168,6 +208,8 @@ type jsonReport struct {
 	Seed          int64       `json:"seed"`
 	Accuracy      float64     `json:"accuracy,omitempty"`
 	Checkpointing string      `json:"checkpointing"`
+	Mode          string      `json:"mode,omitempty"`
+	ExactBackends []string    `json:"exact_backends,omitempty"`
 	Interrupted   bool        `json:"interrupted,omitempty"`
 	Tables        []jsonTable `json:"tables"`
 	// Telemetry is the process-wide counter digest after all cells
@@ -217,17 +259,22 @@ func writeJSON(path string, r *qbench.Runner, tables []*qbench.Table, interrupte
 		Seed:          r.Seed,
 		Accuracy:      r.TargetAccuracy,
 		Checkpointing: r.Checkpointing,
+		Mode:          r.Mode,
+		ExactBackends: r.ExactBackends,
 		Interrupted:   interrupted,
 		Telemetry: map[string]int64{
-			"trajectories":             telemetry.Trajectories.Value(),
-			"gate_applications":        telemetry.GateApplications.Value(),
-			"checkpoint_gates_skipped": telemetry.CheckpointGatesSkipped.Value(),
-			"checkpoint_forks":         telemetry.CheckpointForks.Value(),
-			"checkpoints_prefix":       telemetry.CheckpointsTaken.With("prefix").Value(),
-			"checkpoints_segment":      telemetry.CheckpointsTaken.With("segment").Value(),
-			"dd_nodes_created":         telemetry.DDNodesCreated.Value(),
-			"dd_peak_nodes":            telemetry.DDPeakNodes.Value(),
-			"dd_gc_runs":               telemetry.DDGCRuns.Value(),
+			"trajectories":               telemetry.Trajectories.Value(),
+			"gate_applications":          telemetry.GateApplications.Value(),
+			"checkpoint_gates_skipped":   telemetry.CheckpointGatesSkipped.Value(),
+			"checkpoint_forks":           telemetry.CheckpointForks.Value(),
+			"checkpoints_prefix":         telemetry.CheckpointsTaken.With("prefix").Value(),
+			"checkpoints_segment":        telemetry.CheckpointsTaken.With("segment").Value(),
+			"dd_nodes_created":           telemetry.DDNodesCreated.Value(),
+			"dd_peak_nodes":              telemetry.DDPeakNodes.Value(),
+			"dd_gc_runs":                 telemetry.DDGCRuns.Value(),
+			"exact_channel_applications": telemetry.ExactChannelApplications.Value(),
+			"exact_peak_branches":        telemetry.ExactBranches.Value(),
+			"exact_peak_dd_nodes":        telemetry.ExactDDNodes.Value(),
 		},
 	}
 	for _, t := range tables {

@@ -13,6 +13,7 @@ import (
 
 	"ddsim"
 	"ddsim/internal/dd"
+	"ddsim/internal/exact"
 	"ddsim/internal/jobstore"
 	"ddsim/internal/qbench"
 	"ddsim/internal/rescache"
@@ -323,7 +324,17 @@ func (s *server) compile(spec *jobSpec) (*ddsim.Circuit, []ddsim.NoiseModel, err
 	if _, err := ddsim.Factory(spec.Backend); err != nil {
 		return nil, nil, err
 	}
-	if spec.Backend != ddsim.BackendDD && circ.NumQubits > maxDenseQubits {
+	if err := spec.Options.ValidateMode(); err != nil {
+		return nil, nil, err
+	}
+	if spec.Options.Mode == ddsim.ModeExact {
+		// Exact mode has its own (tighter) register ceilings per
+		// density-matrix representation, and rejects fidelity tracking
+		// on measuring circuits; fail the submission, not the job.
+		if err := exact.Validate(circ, spec.Options); err != nil {
+			return nil, nil, err
+		}
+	} else if spec.Backend != ddsim.BackendDD && circ.NumQubits > maxDenseQubits {
 		return nil, nil, fmt.Errorf(
 			"backend %q allocates 2^n amplitudes per worker; %d qubits exceeds its %d-qubit limit",
 			spec.Backend, circ.NumQubits, maxDenseQubits)
@@ -348,7 +359,10 @@ func (s *server) compile(spec *jobSpec) (*ddsim.Circuit, []ddsim.NoiseModel, err
 			return nil, nil, fmt.Errorf("noise point %d: %v", i, err)
 		}
 	}
-	if s.maxRuns > 0 && spec.Options.Runs > s.maxRuns {
+	// The runs budget is a trajectory knob; exact-mode submissions
+	// ignore it entirely (documented in API.md), so it must not fail
+	// admission there.
+	if spec.Options.Mode != ddsim.ModeExact && s.maxRuns > 0 && spec.Options.Runs > s.maxRuns {
 		return nil, nil, fmt.Errorf("options.runs %d exceeds the server limit %d",
 			spec.Options.Runs, s.maxRuns)
 	}

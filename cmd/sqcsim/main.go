@@ -35,6 +35,17 @@
 //
 //	sqcsim -circuit qft -n 16 -runs 5000 -progress
 //
+// Exact mode (-mode exact) replaces Monte-Carlo sampling with a
+// deterministic density-matrix pass through the same circuit/noise
+// pipeline: the printed distribution is the exact one (no runs, no
+// confidence radius), with ρ stored as a decision diagram
+// (-exact-backend ddensity, default) or densely (-exact-backend
+// density). Small registers only — this is precisely the exponential
+// object stochastic simulation avoids:
+//
+//	sqcsim -circuit ghz -n 8 -mode exact
+//	sqcsim -circuit qft -n 6 -mode exact -exact-backend density
+//
 // A running simulation can be interrupted with Ctrl-C: the completed
 // trajectories are aggregated and reported as a partial result. For a
 // long-lived simulation service with the same engine, see ddsimd.
@@ -79,6 +90,8 @@ func main() {
 		progress   = flag.Bool("progress", false, "print periodic progress lines and a final telemetry digest to stderr")
 		sweep      = flag.String("sweep", "", "noise sweep: comma-separated multiples of the base noise point, e.g. 0,1,2,5,10 (batch mode, one shared worker pool)")
 		checkpoint = flag.String("checkpoint", ddsim.CheckpointAuto, "trajectory checkpointing: auto (fork from the deterministic prefix when the backend supports it), on (required), off (always replay); results are bit-identical either way")
+		mode       = flag.String("mode", ddsim.ModeStochastic, "simulation mode: stochastic (Monte-Carlo trajectories) or exact (deterministic density-matrix pass, small registers)")
+		exactBack  = flag.String("exact-backend", ddsim.ExactDDensity, "exact-mode density-matrix representation: "+strings.Join(ddsim.ExactBackends(), ", "))
 	)
 	flag.Parse()
 
@@ -101,17 +114,26 @@ func main() {
 	opts := ddsim.Options{
 		Runs: *runs, Workers: *workers, Seed: *seed, Shots: *shots, Timeout: *timeout,
 		TrackFidelity: *fidelity, TargetAccuracy: *accuracy, TargetConfidence: *confidence,
-		Checkpointing: *checkpoint,
+		Checkpointing: *checkpoint, Mode: *mode, ExactBackend: *exactBack,
 	}
+	exactMode := *mode == ddsim.ModeExact
 	if *progress {
+		unit := "runs" // exact mode reports circuit ops, not trajectories
+		if exactMode {
+			unit = "ops"
+		}
 		opts.OnProgress = func(p ddsim.Progress) {
-			fmt.Fprintf(os.Stderr, "· job %d: %d/%d runs, radius ±%.4f, %s\n",
-				p.Job, p.Done, p.Target, p.ConfidenceRadius, p.Elapsed.Round(10e6))
+			fmt.Fprintf(os.Stderr, "· job %d: %d/%d %s, radius ±%.4f, %s\n",
+				p.Job, p.Done, p.Target, unit, p.ConfidenceRadius, p.Elapsed.Round(10e6))
 		}
 	}
 
 	fmt.Printf("circuit : %s (%d qubits, %d gates)\n", circ.Name, circ.NumQubits, circ.GateCount())
-	fmt.Printf("backend : %s\n", *backend)
+	if exactMode {
+		fmt.Printf("backend : exact density matrix (%s)\n", *exactBack)
+	} else {
+		fmt.Printf("backend : %s\n", *backend)
+	}
 
 	if *sweep != "" {
 		scales, err := parseScales(*sweep)
@@ -126,6 +148,23 @@ func main() {
 	}
 
 	fmt.Printf("noise   : %s\n", model)
+	if exactMode {
+		res, err := ddsim.SimulateContext(ctx, circ, *backend, model, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result  : %s\n", stochastic.Describe(res))
+		if res.TimedOut {
+			fmt.Println("warning : timed out before the pass completed; no probabilities")
+			return
+		}
+		if *fidelity {
+			fmt.Printf("fidelity: %.6f (exact ⟨ψ_ideal|ρ|ψ_ideal⟩)\n", res.MeanFidelity)
+		}
+		fmt.Println()
+		printExactHistogram(res, circ.NumQubits, *top)
+		return
+	}
 	if *accuracy > 0 {
 		need, err := ddsim.RequiredRuns(1, *accuracy, 1-*confidence)
 		if err != nil {
@@ -173,7 +212,11 @@ func runSweep(ctx context.Context, circ *ddsim.Circuit, backend string, base dds
 	for i, s := range scales {
 		jobs[i] = ddsim.BatchJob{Circuit: circ, Model: base.Scale(s), Opts: opts}
 	}
-	fmt.Printf("sweep   : %d noise points × %d runs (shared worker pool)\n\n", len(scales), opts.Runs)
+	if opts.Mode == ddsim.ModeExact {
+		fmt.Printf("sweep   : %d noise points, exact density-matrix passes (shared worker pool)\n\n", len(scales))
+	} else {
+		fmt.Printf("sweep   : %d noise points × %d runs (shared worker pool)\n\n", len(scales), opts.Runs)
+	}
 	results, err := ddsim.BatchSimulate(ctx, backend, jobs, workers)
 	if results == nil && err != nil {
 		fatal(err)
@@ -209,9 +252,38 @@ func runSweep(ctx context.Context, circ *ddsim.Circuit, backend string, base dds
 	}
 }
 
+// exactDistribution extracts the outcome distribution of an exact
+// result (preferring the classical register when the circuit
+// measures) as a sparse map.
+func exactDistribution(res *ddsim.Result) map[uint64]float64 {
+	if len(res.ClassicalProbs) > 0 {
+		return res.ClassicalProbs
+	}
+	dist := make(map[uint64]float64, len(res.Probabilities))
+	for i, p := range res.Probabilities {
+		if p > 0 {
+			dist[uint64(i)] = p
+		}
+	}
+	return dist
+}
+
 // topOutcome returns the most frequent sampled outcome (preferring the
 // classical register when the circuit measures) and its fraction.
 func topOutcome(res *ddsim.Result) (uint64, float64) {
+	if res.Exact {
+		var best uint64
+		bestP := -1.0
+		for k, p := range exactDistribution(res) {
+			if p > bestP || (p == bestP && k < best) {
+				best, bestP = k, p
+			}
+		}
+		if bestP < 0 {
+			return 0, 0
+		}
+		return best, bestP
+	}
 	counts := res.Counts
 	if len(res.ClassicalCounts) > 0 {
 		counts = res.ClassicalCounts
@@ -293,6 +365,43 @@ func printHistogram(res *ddsim.Result, n, top int) {
 		frac := float64(e.v) / float64(total)
 		bar := strings.Repeat("#", int(frac*40))
 		fmt.Printf("  |%0*b⟩  %6.3f  %s\n", n, e.k, frac, bar)
+	}
+}
+
+// printExactHistogram renders an exact outcome distribution the same
+// way printHistogram renders sampled counts.
+func printExactHistogram(res *ddsim.Result, n, top int) {
+	title := "exact final-state probabilities"
+	if len(res.ClassicalProbs) > 0 {
+		title = "exact classical register probabilities"
+	}
+	if len(res.Probabilities) == 0 && len(res.ClassicalProbs) == 0 {
+		fmt.Printf("full distribution not materialised for %d qubits (2^n values); use -mode exact with ≤16 qubits, or track specific states via the library's Options.TrackStates\n", n)
+		return
+	}
+	type kv struct {
+		k uint64
+		v float64
+	}
+	var entries []kv
+	for k, v := range exactDistribution(res) {
+		if v > 1e-12 {
+			entries = append(entries, kv{k, v})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].v != entries[j].v {
+			return entries[i].v > entries[j].v
+		}
+		return entries[i].k < entries[j].k
+	})
+	fmt.Printf("%s (%d with weight >1e-12, showing up to %d):\n", title, len(entries), top)
+	for i, e := range entries {
+		if i >= top {
+			break
+		}
+		bar := strings.Repeat("#", int(e.v*40))
+		fmt.Printf("  |%0*b⟩  %8.6f  %s\n", n, e.k, e.v, bar)
 	}
 }
 

@@ -22,9 +22,17 @@
 //   - BackendSparse — an operator-materialising "linear algebra"
 //     baseline in the style of the Atos QLM LinAlg simulator.
 //
-// A fourth, exact engine (ExactProbabilities) evolves the full
-// density matrix through the same noise channels for small registers
-// and serves as ground truth for the Monte-Carlo estimates.
+// A fourth, exact engine evolves the full density matrix through the
+// same noise channels — the paper's deterministic baseline, available
+// both as the ExactProbabilities helper and as a first-class mode:
+// Options.Mode = ModeExact routes Simulate/SimulateContext/
+// BatchSimulate to a deterministic pass that returns the entire
+// outcome distribution with zero sampling error (Result.Exact,
+// Runs = 0), with the density matrix stored either as a decision
+// diagram (ExactDDensity, the default) or densely (ExactDensity);
+// see Options.ExactBackend. Measurements, resets and classically
+// conditioned gates are handled exactly by probability-weighted
+// branching over outcome histories.
 //
 // Quick start:
 //
@@ -96,11 +104,14 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"sync"
 
 	"ddsim/internal/circuit"
 	"ddsim/internal/ddback"
 	"ddsim/internal/density"
+	"ddsim/internal/exact"
 	"ddsim/internal/noise"
 	"ddsim/internal/obs"
 	"ddsim/internal/qasm"
@@ -141,6 +152,34 @@ const (
 	BackendStatevector = "statevec"
 	BackendSparse      = "sparse"
 )
+
+// Simulation modes accepted by Options.Mode. ModeStochastic (the
+// default, also selected by an empty Mode) samples Monte-Carlo
+// trajectories on the chosen backend; ModeExact evolves the full
+// density matrix deterministically through the same circuit/noise
+// pipeline and returns exact probabilities (Result.Exact set,
+// Runs = 0) — the paper's baseline alternative, available as a
+// first-class engine. Exact-mode measurements, resets and classically
+// conditioned gates are handled by probability-weighted branching
+// over outcome histories (see internal/exact).
+const (
+	ModeStochastic = stochastic.ModeStochastic
+	ModeExact      = stochastic.ModeExact
+)
+
+// Exact-mode density-matrix representations accepted by
+// Options.ExactBackend: ExactDDensity (default) stores ρ as a
+// decision diagram — the structural-compression approach the paper
+// compares against — and ExactDensity as a dense 2^n × 2^n array.
+const (
+	ExactDDensity = stochastic.ExactDDensity
+	ExactDensity  = stochastic.ExactDensity
+)
+
+// ExactBackends lists the exact-mode density-matrix representations.
+func ExactBackends() []string {
+	return []string{ExactDDensity, ExactDensity}
+}
 
 // Checkpointing modes accepted by Options.Checkpointing. Trajectories
 // of the same job are identical up to the first op where the noise
@@ -214,10 +253,18 @@ func Simulate(c *Circuit, backend string, model NoiseModel, opts Options) (*Resu
 // SimulateContext is Simulate under a context: cancelling ctx stops
 // issuing trajectories and returns the partial Result aggregated so
 // far with Interrupted set (or an error if no trajectory completed).
+// With Options.Mode = ModeExact the job runs on the deterministic
+// density-matrix engine instead (the backend argument still selects
+// the stochastic engine and is validated, but takes no part in an
+// exact simulation); cancelling an exact job returns an error, since
+// a partial density-matrix pass has no meaningful value.
 func SimulateContext(ctx context.Context, c *Circuit, backend string, model NoiseModel, opts Options) (*Result, error) {
 	f, err := Factory(backend)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Mode == ModeExact {
+		return exact.RunContext(ctx, c, model, opts)
 	}
 	return stochastic.RunContext(ctx, c, f, model, opts)
 }
@@ -230,12 +277,70 @@ func SimulateContext(ctx context.Context, c *Circuit, backend string, model Nois
 // jobs still complete. Per-job options (seed, runs, adaptive stopping,
 // progress callbacks) apply independently, and each job's result is
 // bit-identical to a standalone Simulate call with the same seed.
+// Jobs may mix modes: stochastic jobs run through the trajectory
+// engine's shared pool, exact-mode jobs (Opts.Mode = ModeExact)
+// through the density-matrix engine's pool (the two pools run
+// concurrently), and the result slice and Progress.Job indices are
+// stitched back together in the caller's job order. Error messages
+// from a mixed batch number jobs within their engine's sub-batch but
+// always carry the circuit name.
 func BatchSimulate(ctx context.Context, backend string, jobs []BatchJob, workers int) ([]*Result, error) {
 	f, err := Factory(backend)
 	if err != nil {
 		return nil, err
 	}
-	return stochastic.RunBatch(ctx, f, jobs, workers)
+	var exactIdx, stochIdx []int
+	for i := range jobs {
+		if jobs[i].Opts.Mode == ModeExact {
+			exactIdx = append(exactIdx, i)
+		} else {
+			stochIdx = append(stochIdx, i)
+		}
+	}
+	if len(exactIdx) == 0 {
+		return stochastic.RunBatch(ctx, f, jobs, workers)
+	}
+	results := make([]*Result, len(jobs))
+	errs := make([]error, 2)
+	scatter := func(idx []int, sub []*Result) {
+		for k, i := range idx {
+			results[i] = sub[k]
+		}
+	}
+	pick := func(idx []int) []BatchJob {
+		sel := make([]BatchJob, len(idx))
+		for k, i := range idx {
+			sel[k] = jobs[i]
+			// The engines see a compacted sub-batch; remap the progress
+			// snapshot's job index back to the caller's numbering.
+			if cb := sel[k].Opts.OnProgress; cb != nil {
+				orig := i
+				sel[k].Opts.OnProgress = func(p Progress) {
+					p.Job = orig
+					cb(p)
+				}
+			}
+		}
+		return sel
+	}
+	// The two engines own disjoint result slots, so their pools run
+	// concurrently rather than back to back; the Go scheduler shares
+	// the cores between them.
+	var wg sync.WaitGroup
+	if len(stochIdx) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, err := stochastic.RunBatch(ctx, f, pick(stochIdx), workers)
+			scatter(stochIdx, sub)
+			errs[0] = err
+		}()
+	}
+	sub, err := exact.RunBatch(ctx, pick(exactIdx), workers)
+	scatter(exactIdx, sub)
+	errs[1] = err
+	wg.Wait()
+	return results, errors.Join(errs...)
 }
 
 // JobKey returns the canonical content-addressed identity of a
@@ -261,12 +366,19 @@ func JobKey(c *Circuit, backend string, models []NoiseModel, opts Options) (stri
 		return "", fmt.Errorf("ddsim: job key: %w", err)
 	}
 	o := opts.Canonical()
+	// An exact-mode result does not depend on which stochastic backend
+	// the caller happened to name: canonicalise it away so identical
+	// exact submissions hit the cache across backend spellings.
+	if o.Mode == ModeExact {
+		backend = "-"
+	}
 	h := sha256.New()
 	// The serialisation below is a stable wire format: field order and
 	// formatting must never change, or every persisted cache key would
 	// be invalidated. Extend only by appending new fields (and bump
-	// the version tag when doing so).
-	fmt.Fprintf(h, "ddsim-job-v1\nbackend=%s\nqasm=%d:%s\n", backend, len(src), src)
+	// the version tag when doing so). v2 appended mode= and
+	// exact_backend= for the exact engine.
+	fmt.Fprintf(h, "ddsim-job-v2\nbackend=%s\nqasm=%d:%s\n", backend, len(src), src)
 	for _, m := range models {
 		fmt.Fprintf(h, "noise=%.17g,%.17g,%.17g,%t\n",
 			m.Depolarizing, m.Damping, m.PhaseFlip, m.DampingAsEvent)
@@ -277,6 +389,7 @@ func JobKey(c *Circuit, backend string, models []NoiseModel, opts Options) (stri
 	for _, t := range o.TrackStates {
 		fmt.Fprintf(h, "track=%d\n", t)
 	}
+	fmt.Fprintf(h, "mode=%s\nexact_backend=%s\n", o.Mode, o.ExactBackend)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

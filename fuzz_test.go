@@ -1,0 +1,120 @@
+package ddsim_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"ddsim"
+)
+
+// FuzzCanonical throws adversarial Options at the canonicalisation
+// and content-addressing layer underneath the ddsimd result cache.
+// Properties:
+//
+//  1. Options.Canonical and JobKey never panic, whatever the field
+//     values (negative budgets, NaN/Inf accuracies, unknown modes);
+//  2. JobKey is deterministic: two calls over the same inputs agree;
+//  3. canonicalisation is idempotent under the hash: hashing the
+//     canonical form reproduces the original key, so a cache keyed on
+//     submissions and one keyed on canonical forms can never diverge;
+//  4. the documented exact-mode collapses hold: in exact mode the
+//     trajectory knobs (runs, seed, shots, chunking, adaptive
+//     stopping) and the stochastic backend name must not move the
+//     key.
+//
+// The checked-in seeds live under testdata/fuzz/FuzzCanonical and run
+// as ordinary test cases on every `go test`; CI additionally fuzzes
+// the target for ~30s per run.
+func FuzzCanonical(f *testing.F) {
+	f.Add(int64(30000), int64(1), int64(1), int64(64), int64(0),
+		0.02, 0.95, true, byte(0), byte(0), byte(0), "dd", []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(int64(-5), int64(-1), int64(0), int64(-64), int64(-1),
+		-1.5, 1.5, false, byte(1), byte(1), byte(1), "statevec", []byte{})
+	f.Add(int64(0), int64(9e18), int64(1<<40), int64(1), int64(1<<60),
+		0.0, 0.0, false, byte(2), byte(2), byte(2), "sparse", []byte("\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add(int64(1), int64(2), int64(3), int64(4), int64(5),
+		1e308, 1e-308, true, byte(3), byte(3), byte(3), "no-such-backend", []byte("abcdefgh12345678"))
+
+	circ := ddsim.GHZ(3)
+	models := []ddsim.NoiseModel{ddsim.PaperNoise(), ddsim.NoNoise()}
+	modes := []string{"", ddsim.ModeStochastic, ddsim.ModeExact, "bogus-mode"}
+	exacts := []string{"", ddsim.ExactDDensity, ddsim.ExactDensity, "bogus-backend"}
+	ckpts := []string{"", ddsim.CheckpointAuto, ddsim.CheckpointOn, ddsim.CheckpointOff}
+
+	f.Fuzz(func(t *testing.T, runs, seed, shots, chunk, timeout int64,
+		acc, conf float64, fid bool, modeSel, backSel, ckptSel byte, backend string, trackRaw []byte) {
+		var track []uint64
+		for len(trackRaw) >= 8 && len(track) < 16 {
+			track = append(track, binary.LittleEndian.Uint64(trackRaw))
+			trackRaw = trackRaw[8:]
+		}
+		opts := ddsim.Options{
+			Runs:             int(runs),
+			Seed:             seed,
+			Shots:            int(shots),
+			ChunkSize:        int(chunk),
+			Timeout:          time.Duration(timeout),
+			TargetAccuracy:   acc,
+			TargetConfidence: conf,
+			TrackFidelity:    fid,
+			TrackStates:      track,
+			Mode:             modes[int(modeSel)%len(modes)],
+			ExactBackend:     exacts[int(backSel)%len(exacts)],
+			Checkpointing:    ckpts[int(ckptSel)%len(ckpts)],
+		}
+
+		// 1. No panics, ever.
+		canon := opts.Canonical()
+		k1, err1 := ddsim.JobKey(circ, backend, models, opts)
+
+		// 2. Determinism.
+		k2, err2 := ddsim.JobKey(circ, backend, models, opts)
+		if (err1 == nil) != (err2 == nil) || k1 != k2 {
+			t.Fatalf("JobKey not deterministic: (%q, %v) vs (%q, %v)", k1, err1, k2, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if len(k1) != 64 {
+			t.Fatalf("JobKey length %d, want 64 hex chars", len(k1))
+		}
+
+		// 3. Hash-level idempotence of canonicalisation.
+		k3, err3 := ddsim.JobKey(circ, backend, models, canon)
+		if err3 != nil || k3 != k1 {
+			t.Fatalf("JobKey(Canonical(o)) = (%q, %v), want (%q, nil)", k3, err3, k1)
+		}
+
+		// 4. Exact-mode collapses: the trajectory vocabulary and the
+		// stochastic backend name are not result-relevant.
+		if opts.Mode == ddsim.ModeExact {
+			perturbed := opts
+			perturbed.Runs += 17
+			perturbed.Seed ^= 0x5a5a
+			perturbed.Shots += 3
+			perturbed.ChunkSize += 1
+			perturbed.TargetAccuracy = acc + 1
+			kp, err := ddsim.JobKey(circ, backend+"-other", models, perturbed)
+			if err != nil || kp != k1 {
+				t.Fatalf("exact-mode key moved under trajectory knobs: (%q, %v) vs %q", kp, err, k1)
+			}
+		} else {
+			// Stochastic mode: workers/progress/checkpointing must not
+			// move the key, the seed must.
+			perturbed := opts
+			perturbed.Workers = 13
+			perturbed.ProgressEvery = 7
+			kp, err := ddsim.JobKey(circ, backend, models, perturbed)
+			if err != nil || kp != k1 {
+				t.Fatalf("key moved under execution knobs: (%q, %v) vs %q", kp, err, k1)
+			}
+			reseeded := opts
+			reseeded.Seed++
+			kr, err := ddsim.JobKey(circ, backend, models, reseeded)
+			if err != nil || kr == k1 {
+				t.Fatalf("key did not move under a new seed (err %v)", err)
+			}
+		}
+	})
+}

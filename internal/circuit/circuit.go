@@ -39,6 +39,18 @@ type Condition struct {
 	Value uint64
 }
 
+// Holds reports whether the condition is satisfied by the packed
+// classical register clbits. Both the stochastic driver and the exact
+// engine's outcome-history branches evaluate conditions through this
+// single definition.
+func (c *Condition) Holds(clbits uint64) bool {
+	var v uint64
+	for i, b := range c.Bits {
+		v |= (clbits >> uint(b) & 1) << uint(i)
+	}
+	return v == c.Value
+}
+
 // Op is one circuit operation.
 type Op struct {
 	Kind     OpKind

@@ -23,8 +23,11 @@ import (
 	"math"
 )
 
-// Tolerance is the per-component distance below which two complex
-// values are identified. It matches the default of the JKU DD package.
+// Tolerance is the default per-component distance below which two
+// complex values are identified. It matches the default of the JKU DD
+// package. Tables can be built with a different tolerance
+// (NewTableTol) — the exact density-matrix engine interns with a much
+// tighter one so deterministic results hold to ~1e-12.
 const Tolerance = 1e-10
 
 // Value is an interned complex number. Within one Table, pointer
@@ -79,6 +82,10 @@ type Table struct {
 	count   int
 	nextID  uint32
 
+	// tol is the per-component identification distance; cell is the
+	// side of one hash-grid cell (4·tol, see neighborDir).
+	tol, cell float64
+
 	// Zero and One are the canonical representatives of 0 and 1.
 	// They are pre-interned so hot paths can compare against them.
 	Zero *Value
@@ -88,9 +95,20 @@ type Table struct {
 	hits    int
 }
 
-// NewTable returns an empty table with 0 and 1 pre-interned.
-func NewTable() *Table {
-	t := &Table{buckets: make([]*Value, 1<<12), nextID: 1}
+// NewTable returns an empty table with 0 and 1 pre-interned, using
+// the default Tolerance.
+func NewTable() *Table { return NewTableTol(Tolerance) }
+
+// NewTableTol returns an empty table identifying values within tol
+// per component. tol must be positive and far above float64 epsilon;
+// the exact engine uses a tight tolerance so that deterministic
+// density-matrix results carry no visible interning error, while the
+// stochastic engine keeps the JKU default for maximal node sharing.
+func NewTableTol(tol float64) *Table {
+	if tol <= 0 {
+		panic("cnum: tolerance must be positive")
+	}
+	t := &Table{buckets: make([]*Value, 1<<12), nextID: 1, tol: tol, cell: 4 * tol}
 	t.Zero = t.Lookup(0, 0)
 	t.One = t.Lookup(1, 0)
 	return t
@@ -108,30 +126,28 @@ func (t *Table) HitRate() float64 {
 	return float64(t.hits) / float64(t.lookups)
 }
 
-// cellWidth is the side of one hash-grid cell. It is a multiple of
-// Tolerance so that a match for x can only live in x's own cell or —
-// when x lies within Tolerance of a cell boundary — the directly
-// adjacent cell on that side. This keeps the common case at a single
-// probe instead of nine.
-const cellWidth = 4 * Tolerance
+// The hash-grid cell side is 4·tol so that a match for x can only
+// live in x's own cell or — when x lies within tol of a cell boundary
+// — the directly adjacent cell on that side. This keeps the common
+// case at a single probe instead of nine.
 
-func quantize(x float64) int64 {
-	return int64(math.Floor(x / cellWidth))
+func (t *Table) quantize(x float64) int64 {
+	return int64(math.Floor(x / t.cell))
 }
 
-func closeEnough(a, b float64) bool {
-	return math.Abs(a-b) <= Tolerance
+func (t *Table) closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= t.tol
 }
 
 // neighborDir reports which neighbour cells along one axis could hold
 // a match for x: −1, +1 or 0 (none) depending on x's offset inside
 // its cell.
-func neighborDir(x float64, q int64) int64 {
-	off := x - float64(q)*cellWidth
-	if off <= Tolerance {
+func (t *Table) neighborDir(x float64, q int64) int64 {
+	off := x - float64(q)*t.cell
+	if off <= t.tol {
 		return -1
 	}
-	if off >= cellWidth-Tolerance {
+	if off >= t.cell-t.tol {
 		return 1
 	}
 	return 0
@@ -154,7 +170,7 @@ func (t *Table) bucketIndex(qr, qi int64) uint64 {
 // re-derived from each candidate's coordinates.
 func (t *Table) findInCell(qr, qi int64, re, im float64) *Value {
 	for v := t.buckets[t.bucketIndex(qr, qi)]; v != nil; v = v.next {
-		if closeEnough(v.re, re) && closeEnough(v.im, im) {
+		if t.closeEnough(v.re, re) && t.closeEnough(v.im, im) {
 			return v
 		}
 	}
@@ -170,11 +186,11 @@ func (t *Table) Lookup(re, im float64) *Value {
 	if math.IsNaN(re) || math.IsNaN(im) || math.IsInf(re, 0) || math.IsInf(im, 0) {
 		panic(fmt.Sprintf("cnum: non-finite value %g%+gi interned", re, im))
 	}
-	re = snap(re)
-	im = snap(im)
+	re = t.snap(re)
+	im = t.snap(im)
 	t.lookups++
 
-	qr, qi := quantize(re), quantize(im)
+	qr, qi := t.quantize(re), t.quantize(im)
 	// Fast path: the home cell (repeat lookups of the same value).
 	if v := t.findInCell(qr, qi, re, im); v != nil {
 		t.hits++
@@ -182,8 +198,8 @@ func (t *Table) Lookup(re, im float64) *Value {
 	}
 	// A match can sit across a grid boundary only when the value lies
 	// within Tolerance of that boundary.
-	nr := neighborDir(re, qr)
-	ni := neighborDir(im, qi)
+	nr := t.neighborDir(re, qr)
+	ni := t.neighborDir(im, qi)
 	if nr != 0 {
 		if v := t.findInCell(qr+nr, qi, re, im); v != nil {
 			t.hits++
@@ -223,7 +239,7 @@ func (t *Table) grow() {
 	for _, chain := range old {
 		for v := chain; v != nil; {
 			next := v.next
-			idx := t.bucketIndex(quantize(v.re), quantize(v.im))
+			idx := t.bucketIndex(t.quantize(v.re), t.quantize(v.im))
 			v.next = t.buckets[idx]
 			t.buckets[idx] = v
 			v = next
@@ -280,17 +296,17 @@ func (t *Table) Sweep() int {
 // constants 0, ±1 and ±1/√2 to those constants. This keeps the weights
 // produced by H/CX/QFT circuits exactly canonical over long gate
 // sequences.
-func snap(x float64) float64 {
+func (t *Table) snap(x float64) float64 {
 	switch {
-	case math.Abs(x) <= Tolerance:
+	case math.Abs(x) <= t.tol:
 		return 0
-	case math.Abs(x-1) <= Tolerance:
+	case math.Abs(x-1) <= t.tol:
 		return 1
-	case math.Abs(x+1) <= Tolerance:
+	case math.Abs(x+1) <= t.tol:
 		return -1
-	case math.Abs(x-math.Sqrt2/2) <= Tolerance:
+	case math.Abs(x-math.Sqrt2/2) <= t.tol:
 		return math.Sqrt2 / 2
-	case math.Abs(x+math.Sqrt2/2) <= Tolerance:
+	case math.Abs(x+math.Sqrt2/2) <= t.tol:
 		return -math.Sqrt2 / 2
 	default:
 		return x
@@ -360,8 +376,9 @@ func (t *Table) Conj(a *Value) *Value {
 	return t.Lookup(a.re, -a.im)
 }
 
-// ApproxEqual reports whether two float pairs are within Tolerance of
-// each other per component. It is the comparison the table itself uses.
+// ApproxEqual reports whether two float pairs are within the default
+// Tolerance of each other per component — the comparison a
+// default-tolerance table uses.
 func ApproxEqual(a, b complex128) bool {
-	return closeEnough(real(a), real(b)) && closeEnough(imag(a), imag(b))
+	return math.Abs(real(a)-real(b)) <= Tolerance && math.Abs(imag(a)-imag(b)) <= Tolerance
 }

@@ -280,13 +280,23 @@ func (p *Package) Stats() Stats {
 }
 
 // NewPackage creates a package for registers of exactly n qubits
-// (1 ≤ n ≤ MaxQubits).
+// (1 ≤ n ≤ MaxQubits), interning edge weights at the default
+// cnum.Tolerance.
 func NewPackage(n int) *Package {
+	return NewPackageTol(n, cnum.Tolerance)
+}
+
+// NewPackageTol creates a package whose weight table identifies
+// complex values within tol per component. The stochastic engine uses
+// the default (maximal node sharing); the exact density-matrix engine
+// passes a much tighter tolerance so deterministic results carry no
+// visible interning error.
+func NewPackageTol(n int, tol float64) *Package {
 	if n < 1 || n > MaxQubits {
 		panic(fmt.Sprintf("dd: unsupported qubit count %d (want 1..%d)", n, MaxQubits))
 	}
 	p := &Package{
-		W:            cnum.NewTable(),
+		W:            cnum.NewTableTol(tol),
 		nQubits:      n,
 		vBuckets:     make([]*VNode, 1<<12),
 		mBuckets:     make([]*MNode, 1<<10),
@@ -509,18 +519,32 @@ func (p *Package) growM() {
 	}
 }
 
-// scaleV returns e with its weight multiplied by w.
+// scaleV returns e with its weight multiplied by w. A product that
+// underflows the interning tolerance snaps to the canonical zero
+// weight; the result is then the zero stub, never a zero-weighted
+// edge to a live node (Add/AddM factor incoming weights out by
+// division, so a semantically-zero edge must also be structurally
+// zero).
 func (p *Package) scaleV(e VEdge, w *cnum.Value) VEdge {
 	if e.IsZero() || w == p.W.Zero {
 		return p.ZeroEdge()
 	}
-	return VEdge{N: e.N, W: p.W.Mul(e.W, w)}
+	nw := p.W.Mul(e.W, w)
+	if nw == p.W.Zero {
+		return p.ZeroEdge()
+	}
+	return VEdge{N: e.N, W: nw}
 }
 
-// scaleM returns e with its weight multiplied by w.
+// scaleM returns e with its weight multiplied by w, with the same
+// zero-stub guarantee as scaleV.
 func (p *Package) scaleM(e MEdge, w *cnum.Value) MEdge {
 	if e.IsZero() || w == p.W.Zero {
 		return p.ZeroMEdge()
 	}
-	return MEdge{N: e.N, W: p.W.Mul(e.W, w)}
+	nw := p.W.Mul(e.W, w)
+	if nw == p.W.Zero {
+		return p.ZeroMEdge()
+	}
+	return MEdge{N: e.N, W: nw}
 }

@@ -18,6 +18,16 @@ func (p *Package) Add(a, b VEdge) VEdge {
 	if b.IsZero() {
 		return a
 	}
+	// A zero-weighted edge to a live node is semantically zero even
+	// though it is not the zero stub (a weight product can underflow
+	// the interning tolerance). Treat it as zero here: the
+	// normalisation below divides by a.W.
+	if a.W == p.W.Zero {
+		return b
+	}
+	if b.W == p.W.Zero {
+		return a
+	}
 	if a.IsTerminal() != b.IsTerminal() {
 		panic("dd: Add of vectors with different levels")
 	}
@@ -57,6 +67,14 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 		return b
 	}
 	if b.IsZero() {
+		return a
+	}
+	// See Add: zero-weighted edges to live nodes are semantically
+	// zero and must not reach the weight division below.
+	if a.W == p.W.Zero {
+		return b
+	}
+	if b.W == p.W.Zero {
 		return a
 	}
 	if a.IsTerminal() != b.IsTerminal() {

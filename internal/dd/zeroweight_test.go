@@ -1,0 +1,50 @@
+package dd
+
+import "testing"
+
+// A weight product that underflows the interning tolerance snaps to
+// the canonical zero, which used to leave "semantically zero" edges —
+// zero weight, live node — in circulation; Add/AddM factor incoming
+// weights out by division and panicked on them ("division by zero
+// weight", found by running the exact engine's channel sums over the
+// SECA-11 workload). The invariant now is twofold: scaling can no
+// longer produce such edges, and Add/AddM treat any that still arrive
+// as zero.
+func TestZeroWeightEdgesAreSemanticallyZero(t *testing.T) {
+	p := NewPackage(2)
+	x := Mat2{{0, 1}, {1, 0}}
+	g := p.SingleQubitGate(x, 0)
+	h := p.SingleQubitGate(Mat2{{1, 0}, {0, -1}}, 1) // distinct node
+
+	// Distinct nodes force the normalisation path that divides by the
+	// first operand's weight — the pre-fix panic site.
+	zw := MEdge{N: h.N, W: p.W.Zero}
+	if r := p.AddM(zw, g); r != g {
+		t.Errorf("AddM(zero-weight edge, g) = %+v, want g", r)
+	}
+	if r := p.AddM(g, zw); r != g {
+		t.Errorf("AddM(g, zero-weight edge) = %+v, want g", r)
+	}
+
+	v := p.ZeroState()
+	w := p.BasisState(0b11)
+	zv := VEdge{N: w.N, W: p.W.Zero}
+	if r := p.Add(zv, v); r != v {
+		t.Errorf("Add(zero-weight edge, v) = %+v, want v", r)
+	}
+	if r := p.Add(v, zv); r != v {
+		t.Errorf("Add(v, zero-weight edge) = %+v, want v", r)
+	}
+
+	// The constructive path: products of representable-but-tiny
+	// weights underflow to the canonical zero. The result must be the
+	// structural zero stub, and summing it must be the identity.
+	tiny := MEdge{N: g.N, W: p.W.LookupC(complex(1e-6, 0))}
+	prod := p.MulMM(tiny, tiny) // weight 1e-12, below the 1e-10 tolerance
+	if !prod.IsZero() && prod.W == p.W.Zero {
+		t.Errorf("underflowed product is a zero-weighted live edge: %+v", prod)
+	}
+	if r := p.AddM(prod, g); r != g {
+		t.Errorf("AddM(underflowed product, g) = %+v, want g", r)
+	}
+}

@@ -39,10 +39,19 @@ type krausKey struct {
 	qubit   int
 }
 
+// WeightTolerance is the edge-weight interning tolerance of the
+// density-matrix DD package: far tighter than the stochastic engine's
+// cnum.Tolerance default, so that the deterministic probabilities
+// this simulator produces agree with the dense reference to ~1e-12
+// even over long channel sequences. The cost is reduced node sharing
+// for weights that differ below the default tolerance — acceptable,
+// since exactness is the entire point of this engine.
+const WeightTolerance = 1e-14
+
 // New returns a simulator initialised to ρ = |0…0⟩⟨0…0| (an n-node
 // projector chain — linear, like the zero state's vector DD).
 func New(n int) *Simulator {
-	p := dd.NewPackage(n)
+	p := dd.NewPackageTol(n, WeightTolerance)
 	p0 := dd.Mat2{{1, 0}, {0, 0}}
 	factors := make([]*dd.Mat2, n)
 	for i := range factors {
@@ -131,6 +140,126 @@ func (s *Simulator) MeasureDecohere(qubit int) {
 		{{1, 0}, {0, 0}},
 		{{0, 0}, {0, 1}},
 	}, qubit)
+}
+
+// projector returns the embedded single-qubit projector
+// |outcome⟩⟨outcome| on the qubit.
+func (s *Simulator) projector(qubit, outcome int) dd.MEdge {
+	var p dd.Mat2
+	if outcome&1 == 0 {
+		p = dd.Mat2{{1, 0}, {0, 0}}
+	} else {
+		p = dd.Mat2{{0, 0}, {0, 1}}
+	}
+	return s.pkg.SingleQubitGate(p, qubit)
+}
+
+// ProbOne returns tr(P1 ρ), the probability that measuring the qubit
+// yields |1⟩: a diagonal walk (like Trace) that keeps only the |1⟩
+// quadrant at the qubit's level — one cached O(nodes) pass, no
+// operator product, no new nodes. This is the exact engine's
+// measurement hot path (called once per live branch per measurement).
+func (s *Simulator) ProbOne(qubit int) float64 {
+	level := s.n - qubit // qubit 0 is the top level n
+	cache := make(map[*dd.MNode]complex128)
+	var walk func(e dd.MEdge) complex128
+	walk = func(e dd.MEdge) complex128 {
+		if e.IsZero() {
+			return 0
+		}
+		if e.IsTerminal() {
+			// Diagrams never skip levels, so a non-zero terminal means
+			// the qubit's level has already been traversed.
+			return e.W.Complex()
+		}
+		if r, ok := cache[e.N]; ok {
+			return e.W.Complex() * r
+		}
+		var r complex128
+		if e.N.Level == level {
+			r = walk(e.N.E[3]) // restrict to the |1⟩⟨1| quadrant
+		} else {
+			r = walk(e.N.E[0]) + walk(e.N.E[3])
+		}
+		cache[e.N] = r
+		return e.W.Complex() * r
+	}
+	return real(walk(s.rho))
+}
+
+// MeasureProject projects the qubit onto the given measurement
+// outcome and renormalises: ρ → P ρ P / tr(P ρ), returning the
+// outcome probability tr(P ρ). A (numerically) impossible outcome —
+// probability at or below zero — leaves the state untouched and
+// returns 0; callers branching on outcomes must check the returned
+// probability. Post-selected counterpart of MeasureDecohere, backing
+// the exact engine's outcome-history branching.
+func (s *Simulator) MeasureProject(qubit, outcome int) float64 {
+	proj := s.projector(qubit, outcome)
+	projected := s.pkg.MulMM(s.pkg.MulMM(proj, s.rho), proj)
+	p := (&Simulator{pkg: s.pkg, rho: projected, n: s.n}).Trace()
+	if p <= 0 {
+		return 0
+	}
+	s.setRho(s.scaled(projected, 1/p))
+	return p
+}
+
+// Reset applies the deterministic reset channel (noise.ResetKraus)
+// to one qubit: ρ → K0 ρ K0† + K1 ρ K1†; trace preserving, final
+// qubit state |0⟩ regardless of entanglement.
+func (s *Simulator) Reset(qubit int) {
+	s.ApplyChannel("reset", noise.ResetKraus(), qubit)
+}
+
+// scaled returns e with its root weight multiplied by f.
+func (s *Simulator) scaled(e dd.MEdge, f float64) dd.MEdge {
+	return dd.MEdge{N: e.N, W: s.pkg.W.LookupC(e.W.Complex() * complex(f, 0))}
+}
+
+// Clone returns a branch copy of the simulator: the density diagram
+// is shared structurally inside the same DD package (only the root
+// reference count is bumped — the DD analogue of the stochastic
+// engine's cheap fork), and the two copies evolve independently from
+// here on. The Kraus operator cache is shared too; it is keyed by
+// (channel, qubit) and read-only per entry.
+func (s *Simulator) Clone() *Simulator {
+	s.pkg.RefM(s.rho)
+	return &Simulator{pkg: s.pkg, rho: s.rho, n: s.n, kraus: s.kraus}
+}
+
+// Release drops the clone's reference on its density diagram. Call it
+// when discarding a branch created by Clone so the shared package can
+// garbage-collect the nodes.
+func (s *Simulator) Release() {
+	s.pkg.UnrefM(s.rho)
+	s.rho = s.pkg.ZeroMEdge()
+}
+
+// Mix replaces the state with the convex combination
+// ρ → w·ρ + wo·ρ_o, merging two outcome-history branches (which must
+// share the same underlying DD package, i.e. stem from Clone).
+func (s *Simulator) Mix(o *Simulator, w, wo float64) {
+	if o.pkg != s.pkg {
+		panic("ddensity: Mix across DD packages")
+	}
+	s.setRho(s.pkg.AddM(s.scaled(s.rho, w), s.scaled(o.rho, wo)))
+}
+
+// Scale multiplies ρ by a scalar (used to renormalise merged branch
+// mixtures).
+func (s *Simulator) Scale(f float64) {
+	s.setRho(s.scaled(s.rho, f))
+}
+
+// FidelityWithPure returns ⟨ψ|ρ|ψ⟩ for a pure reference state given
+// as a dense amplitude vector.
+func (s *Simulator) FidelityWithPure(psi []complex128) float64 {
+	if len(psi) != 1<<uint(s.n) {
+		panic("ddensity: reference state dimension mismatch")
+	}
+	psiE := s.pkg.FromVector(psi)
+	return real(s.pkg.Dot(psiE, s.pkg.MulMV(s.rho, psiE)))
 }
 
 // Probability returns ⟨idx|ρ|idx⟩ by walking the diagonal path of the
@@ -226,10 +355,6 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 		}
 	}
 	s := New(c.NumQubits)
-	resetKraus := [][2][2]complex128{
-		{{1, 0}, {0, 0}},
-		{{0, 1}, {0, 0}},
-	}
 	for i := range c.Ops {
 		op := &c.Ops[i]
 		switch op.Kind {
@@ -245,7 +370,7 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 		case circuit.KindMeasure:
 			s.MeasureDecohere(op.Target)
 		case circuit.KindReset:
-			s.ApplyChannel("reset", resetKraus, op.Target)
+			s.Reset(op.Target)
 		case circuit.KindBarrier:
 		}
 	}

@@ -1,0 +1,160 @@
+package ddensity
+
+import (
+	"math"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/density"
+	"ddsim/internal/noise"
+)
+
+// run evolves a circuit on a fresh DD density simulator.
+func run(t *testing.T, c *circuit.Circuit, m noise.Model) *Simulator {
+	t.Helper()
+	s, err := RunCircuit(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProbOneAgreesWithDense(t *testing.T) {
+	c := circuit.New("probe", 3)
+	c.H(0).CX(0, 1).RY(2, 0.9)
+	m := noise.Model{Depolarizing: 0.02, Damping: 0.03, PhaseFlip: 0.01}
+	got := run(t, c, m)
+	want, err := density.RunCircuit(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		if d := math.Abs(got.ProbOne(q) - want.ProbOne(q)); d > 1e-10 {
+			t.Errorf("ProbOne(%d) differs from dense by %v", q, d)
+		}
+	}
+}
+
+func TestMeasureProjectNormalises(t *testing.T) {
+	for outcome := 0; outcome < 2; outcome++ {
+		s := run(t, circuit.GHZ(3), noise.Model{})
+		p := s.MeasureProject(0, outcome)
+		if math.Abs(p-0.5) > 1e-12 {
+			t.Errorf("outcome %d probability = %v, want 0.5", outcome, p)
+		}
+		if tr := s.Trace(); math.Abs(tr-1) > 1e-12 {
+			t.Errorf("trace after projection = %v, want 1", tr)
+		}
+		if pu := s.Purity(); math.Abs(pu-1) > 1e-12 {
+			t.Errorf("projected GHZ branch should stay pure, purity = %v", pu)
+		}
+		var idx uint64
+		if outcome == 1 {
+			idx = 7
+		}
+		if p := s.Probability(idx); math.Abs(p-1) > 1e-12 {
+			t.Errorf("outcome %d: P(|%03b⟩) = %v, want 1", outcome, idx, p)
+		}
+	}
+}
+
+func TestMeasureProjectImpossibleOutcome(t *testing.T) {
+	s := New(2)
+	if p := s.MeasureProject(0, 1); p != 0 {
+		t.Errorf("impossible outcome returned probability %v", p)
+	}
+	if p := s.Probability(0); math.Abs(p-1) > 1e-12 {
+		t.Errorf("state disturbed by impossible projection: P(|00⟩) = %v", p)
+	}
+}
+
+func TestResetTracePreservingAndZeroes(t *testing.T) {
+	c := circuit.New("pre", 2)
+	c.H(0).CX(0, 1)
+	s := run(t, c, noise.Model{Damping: 0.1})
+	s.Reset(1)
+	if tr := s.Trace(); math.Abs(tr-1) > 1e-10 {
+		t.Errorf("trace after reset = %v, want 1", tr)
+	}
+	if p := s.ProbOne(1); p > 1e-10 {
+		t.Errorf("reset qubit still has P(1) = %v", p)
+	}
+	if pu := s.Purity(); pu > 0.99 {
+		t.Errorf("reset of an entangled qubit should leave a mixture, purity = %v", pu)
+	}
+}
+
+func TestCloneSharesPackageButNotState(t *testing.T) {
+	s := run(t, circuit.GHZ(2), noise.Model{})
+	cl := s.Clone()
+	if cl.Package() != s.Package() {
+		t.Fatal("clone must share the DD package")
+	}
+	cl.MeasureProject(0, 1)
+	if p := s.Probability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("mutating the clone changed the original: P(|00⟩) = %v", p)
+	}
+	if p := cl.Probability(3); math.Abs(p-1) > 1e-12 {
+		t.Errorf("clone projection wrong: P(|11⟩) = %v", p)
+	}
+	cl.Release()
+	// The original state must survive the clone's release (its own
+	// reference keeps the shared nodes alive through a GC).
+	s.Package().GarbageCollect()
+	if p := s.Probability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("release of the clone corrupted the original: P(|00⟩) = %v", p)
+	}
+}
+
+func TestMixReassemblesDecoherence(t *testing.T) {
+	want := run(t, circuit.GHZ(2), noise.Model{})
+	want.MeasureDecohere(0)
+
+	b0 := run(t, circuit.GHZ(2), noise.Model{})
+	b1 := b0.Clone()
+	p0 := b0.MeasureProject(0, 0)
+	p1 := b1.MeasureProject(0, 1)
+	if math.Abs(p0+p1-1) > 1e-12 {
+		t.Fatalf("branch probabilities sum to %v", p0+p1)
+	}
+	b0.Mix(b1, p0, p1)
+	for i := uint64(0); i < 4; i++ {
+		if d := math.Abs(b0.Probability(i) - want.Probability(i)); d > 1e-12 {
+			t.Errorf("P(%d): branch mixture differs from decoherence by %v", i, d)
+		}
+	}
+	if d := math.Abs(b0.Purity() - want.Purity()); d > 1e-12 {
+		t.Errorf("purity differs by %v", d)
+	}
+}
+
+func TestFidelityWithPure(t *testing.T) {
+	s := run(t, circuit.GHZ(2), noise.Model{})
+	inv := 1 / math.Sqrt2
+	psi := []complex128{complex(inv, 0), 0, 0, complex(inv, 0)}
+	if f := s.FidelityWithPure(psi); math.Abs(f-1) > 1e-12 {
+		t.Errorf("fidelity of GHZ with itself = %v, want 1", f)
+	}
+	orth := []complex128{0, 1, 0, 0}
+	if f := s.FidelityWithPure(orth); f > 1e-12 {
+		t.Errorf("fidelity with orthogonal state = %v, want 0", f)
+	}
+	// Dense cross-check under noise.
+	m := noise.Model{Depolarizing: 0.05, PhaseFlip: 0.02}
+	noisy := run(t, circuit.GHZ(2), m)
+	ref, err := density.RunCircuit(circuit.GHZ(2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(noisy.FidelityWithPure(psi) - ref.FidelityWithPure(psi)); d > 1e-10 {
+		t.Errorf("noisy fidelity differs from dense by %v", d)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := run(t, circuit.GHZ(2), noise.Model{})
+	s.Scale(0.25)
+	if tr := s.Trace(); math.Abs(tr-0.25) > 1e-12 {
+		t.Errorf("trace after Scale(0.25) = %v", tr)
+	}
+}

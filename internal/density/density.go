@@ -26,6 +26,12 @@ type Simulator struct {
 	n   int
 	dim int
 	rho [][]complex128
+
+	// superModel/super cache the fused noise superoperator of the last
+	// model seen by ApplyNoiseAfterGate (one model per run in
+	// practice).
+	superModel *noise.Model
+	super      [4][4]complex128
 }
 
 // New returns a simulator initialised to ρ = |0…0⟩⟨0…0|.
@@ -137,18 +143,47 @@ func cloneMatrix(m [][]complex128) [][]complex128 {
 
 // ApplyNoiseAfterGate applies the exact channel versions of the
 // stochastic noise model to each touched qubit, in the same order the
-// stochastic driver uses (depolarising → damping → phase flip).
+// stochastic driver uses (depolarising → damping → phase flip). The
+// three channels are fused into one cached superoperator and applied
+// in a single O(4^n) blockwise pass per qubit — the dense engine's
+// hot path — instead of one clone-and-conjugate pass per Kraus
+// operator.
 func (s *Simulator) ApplyNoiseAfterGate(m noise.Model, qubits []int) {
-	ops := m.KrausOps()
+	if s.superModel == nil || *s.superModel != m {
+		sup, enabled := m.Superoperator()
+		if !enabled {
+			return
+		}
+		mc := m
+		s.superModel, s.super = &mc, sup
+	}
 	for _, q := range qubits {
-		if k, ok := ops["depolarizing"]; ok {
-			s.ApplyChannel(k, q)
-		}
-		if k, ok := ops["damping"]; ok {
-			s.ApplyChannel(k, q)
-		}
-		if k, ok := ops["phaseflip"]; ok {
-			s.ApplyChannel(k, q)
+		s.ApplySuperOp(&s.super, q)
+	}
+}
+
+// ApplySuperOp applies a single-qubit superoperator to one qubit: for
+// every 2×2 block of ρ over the qubit's bit position, the vectorised
+// block [ρ00, ρ01, ρ10, ρ11] is mapped through sup. One pass touches
+// every matrix entry exactly once, with no allocation.
+func (s *Simulator) ApplySuperOp(sup *[4][4]complex128, qubit int) {
+	stride := uint64(1) << s.bitOf(qubit)
+	dim := uint64(s.dim)
+	for rb := uint64(0); rb < dim; rb += 2 * stride {
+		for r0 := rb; r0 < rb+stride; r0++ {
+			r1 := r0 | stride
+			rowA, rowB := s.rho[r0], s.rho[r1]
+			for cb := uint64(0); cb < dim; cb += 2 * stride {
+				for c0 := cb; c0 < cb+stride; c0++ {
+					c1 := c0 | stride
+					a, b := rowA[c0], rowA[c1]
+					c, d := rowB[c0], rowB[c1]
+					rowA[c0] = sup[0][0]*a + sup[0][1]*b + sup[0][2]*c + sup[0][3]*d
+					rowA[c1] = sup[1][0]*a + sup[1][1]*b + sup[1][2]*c + sup[1][3]*d
+					rowB[c0] = sup[2][0]*a + sup[2][1]*b + sup[2][2]*c + sup[2][3]*d
+					rowB[c1] = sup[3][0]*a + sup[3][1]*b + sup[3][2]*c + sup[3][3]*d
+				}
+			}
 		}
 	}
 }
@@ -161,6 +196,92 @@ func (s *Simulator) MeasureDecohere(qubit int) {
 	p0 := [2][2]complex128{{1, 0}, {0, 0}}
 	p1 := [2][2]complex128{{0, 0}, {0, 1}}
 	s.ApplyChannel([][2][2]complex128{p0, p1}, qubit)
+}
+
+// ProbOne returns tr(P1 ρ), the probability that measuring the qubit
+// yields |1⟩.
+func (s *Simulator) ProbOne(qubit int) float64 {
+	bit := s.bitOf(qubit)
+	p := 0.0
+	for i := uint64(0); i < uint64(s.dim); i++ {
+		if i>>bit&1 == 1 {
+			p += real(s.rho[i][i])
+		}
+	}
+	return p
+}
+
+// MeasureProject projects the qubit onto the given measurement
+// outcome and renormalises: ρ → P ρ P / tr(P ρ). It returns the
+// outcome probability tr(P ρ). A (numerically) impossible outcome —
+// probability at or below zero — leaves the state untouched and
+// returns 0; callers branching on outcomes must check the returned
+// probability. This is the post-selected counterpart of
+// MeasureDecohere and the operation backing the exact engine's
+// outcome-history branching.
+func (s *Simulator) MeasureProject(qubit, outcome int) float64 {
+	bit := s.bitOf(qubit)
+	want := uint64(outcome) & 1
+	p := 0.0
+	for i := uint64(0); i < uint64(s.dim); i++ {
+		if i>>bit&1 == want {
+			p += real(s.rho[i][i])
+		}
+	}
+	if p <= 0 {
+		return 0
+	}
+	inv := complex(1/p, 0)
+	for i := uint64(0); i < uint64(s.dim); i++ {
+		for j := uint64(0); j < uint64(s.dim); j++ {
+			if i>>bit&1 != want || j>>bit&1 != want {
+				s.rho[i][j] = 0
+			} else {
+				s.rho[i][j] *= inv
+			}
+		}
+	}
+	return p
+}
+
+// Reset applies the deterministic reset channel (noise.ResetKraus)
+// to one qubit: ρ → K0 ρ K0† + K1 ρ K1†, trace preserving, final
+// qubit state |0⟩ regardless of prior state or entanglement.
+func (s *Simulator) Reset(qubit int) {
+	s.ApplyChannel(noise.ResetKraus(), qubit)
+}
+
+// Clone returns an independent deep copy of the simulator state, the
+// fork point of the exact engine's outcome-history branching.
+func (s *Simulator) Clone() *Simulator {
+	return &Simulator{n: s.n, dim: s.dim, rho: cloneMatrix(s.rho)}
+}
+
+// Mix replaces the state with the convex combination
+// ρ → w·ρ + wo·ρ_o, merging two outcome-history branches back into
+// one mixed state (w and wo are the branch probabilities; they should
+// sum to the combined branch weight).
+func (s *Simulator) Mix(o *Simulator, w, wo float64) {
+	if o.dim != s.dim {
+		panic("density: Mix dimension mismatch")
+	}
+	cw, cwo := complex(w, 0), complex(wo, 0)
+	for i := range s.rho {
+		for j := range s.rho[i] {
+			s.rho[i][j] = cw*s.rho[i][j] + cwo*o.rho[i][j]
+		}
+	}
+}
+
+// Scale multiplies ρ by a scalar (used to renormalise merged branch
+// mixtures).
+func (s *Simulator) Scale(f float64) {
+	cf := complex(f, 0)
+	for i := range s.rho {
+		for j := range s.rho[i] {
+			s.rho[i][j] *= cf
+		}
+	}
 }
 
 // Probability returns ⟨idx|ρ|idx⟩, the outcome probability of one
@@ -238,10 +359,6 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	resetKraus := [][2][2]complex128{
-		{{1, 0}, {0, 0}}, // |0⟩⟨0|
-		{{0, 1}, {0, 0}}, // |0⟩⟨1|
-	}
 	for i := range c.Ops {
 		op := &c.Ops[i]
 		switch op.Kind {
@@ -257,7 +374,7 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 		case circuit.KindMeasure:
 			s.MeasureDecohere(op.Target)
 		case circuit.KindReset:
-			s.ApplyChannel(resetKraus, op.Target)
+			s.Reset(op.Target)
 		case circuit.KindBarrier:
 		}
 	}

@@ -1,0 +1,62 @@
+package qasm
+
+import (
+	"testing"
+)
+
+// FuzzParseQASM throws adversarial byte strings at the OpenQASM
+// front-end. Properties:
+//
+//  1. Parse never panics — every malformed program is a clean error;
+//  2. a successfully parsed circuit passes circuit.Validate (the
+//     parser's range checks are complete, so backends can skip
+//     per-op bounds checks);
+//  3. on every writable parse result, Write∘Parse is a fixpoint:
+//     writing canonicalises, after which one more Parse/Write cycle
+//     reproduces the text byte for byte (the property ddsim.JobKey's
+//     content addressing stands on).
+//
+// The checked-in seeds live under testdata/fuzz/FuzzParseQASM and run
+// as ordinary test cases on every `go test`; CI additionally fuzzes
+// the target for ~30s per run.
+func FuzzParseQASM(f *testing.F) {
+	seeds := []string{
+		"",
+		"OPENQASM 2.0;\n",
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nh q;\nmeasure q -> c;\n",
+		"OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nif (c==1) x q[1];\nreset q[0];\n",
+		"OPENQASM 2.0;\nqreg q[1];\nrz(pi/4) q[0];\nu3(0.1,0.2,0.3) q[0];\n",
+		"OPENQASM 2.0;\nqreg q[3];\ngate foo a, b { cx a, b; h b; }\nfoo q[0], q[2];\n",
+		"OPENQASM 2.0;\nqreg q[2];\nbarrier q;\nccx q[0], q[0], q[1];\n",
+		"OPENQASM 2.0;\nqreg q[65];\n",
+		"OPENQASM %$;\nqreg q[2;\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse("fuzz", src)
+		if err != nil {
+			return // malformed input, cleanly rejected
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser produced an invalid circuit: %v\nsource:\n%s", err, src)
+		}
+		w1, err := Write(c)
+		if err != nil {
+			return // parsed but not writable (no canonical form to check)
+		}
+		c2, err := Parse("fuzz-reparse", w1)
+		if err != nil {
+			t.Fatalf("written QASM does not reparse: %v\nwritten:\n%s\noriginal:\n%s", err, w1, src)
+		}
+		w2, err := Write(c2)
+		if err != nil {
+			t.Fatalf("reparsed circuit does not rewrite: %v\nwritten:\n%s", err, w1)
+		}
+		if w1 != w2 {
+			t.Fatalf("Write∘Parse is not a fixpoint:\nfirst:\n%s\nsecond:\n%s\noriginal:\n%s", w1, w2, src)
+		}
+	})
+}

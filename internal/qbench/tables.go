@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"ddsim/internal/exact"
 	"ddsim/internal/noise"
 	"ddsim/internal/sim"
 	"ddsim/internal/stochastic"
@@ -93,8 +94,47 @@ type Runner struct {
 	// mode per cell ("auto", "on", "off"; empty means auto). Same-seed
 	// cells are bit-identical in every mode — only runtimes move.
 	Checkpointing string
+	// Mode selects the engine for every cell: "" or
+	// stochastic.ModeStochastic runs the Monte-Carlo engine over
+	// Backends; stochastic.ModeExact runs one deterministic
+	// density-matrix pass per cell over ExactBackends instead, so the
+	// regenerated table compares the paper's proposal against its
+	// deterministic baseline on the same workloads.
+	Mode string
+	// ExactBackends lists the exact-mode representations measured as
+	// columns (defaults to ddensity then density). Only consulted in
+	// exact mode.
+	ExactBackends []string
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...interface{})
+}
+
+// engineCol is one table column: either a stochastic backend factory
+// or an exact-mode density-matrix representation.
+type engineCol struct {
+	name    string
+	factory sim.Factory // stochastic mode
+	exact   string      // exact mode
+}
+
+// engines returns the measured columns for the configured mode.
+func (r *Runner) engines() []engineCol {
+	if r.Mode == stochastic.ModeExact {
+		backs := r.ExactBackends
+		if len(backs) == 0 {
+			backs = []string{stochastic.ExactDDensity, stochastic.ExactDensity}
+		}
+		cols := make([]engineCol, len(backs))
+		for i, b := range backs {
+			cols[i] = engineCol{name: "exact(" + b + ")", exact: b}
+		}
+		return cols
+	}
+	cols := make([]engineCol, len(r.Backends))
+	for i, b := range r.Backends {
+		cols[i] = engineCol{name: b.Name, factory: b.Factory}
+	}
+	return cols
 }
 
 func (r *Runner) logf(format string, args ...interface{}) {
@@ -105,29 +145,46 @@ func (r *Runner) logf(format string, args ...interface{}) {
 
 // columns returns the simulator labels.
 func (r *Runner) columns() []string {
-	cols := make([]string, len(r.Backends))
-	for i, b := range r.Backends {
-		cols[i] = b.Name
+	engines := r.engines()
+	cols := make([]string, len(engines))
+	for i, e := range engines {
+		cols[i] = e.name
 	}
 	return cols
 }
 
-// measure runs one cell.
-func (r *Runner) measure(b Benchmark, f sim.Factory) Cell {
+// measure runs one cell on one engine column.
+func (r *Runner) measure(b Benchmark, col engineCol) Cell {
 	ctx := r.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := stochastic.RunContext(ctx, b.Circuit, f, r.Model, stochastic.Options{
-		Runs:             r.Runs,
-		Workers:          r.Workers,
-		Seed:             r.Seed,
-		Timeout:          r.Budget,
-		TargetAccuracy:   r.TargetAccuracy,
-		TargetConfidence: r.TargetConfidence,
-		Checkpointing:    r.Checkpointing,
-	})
+	var res *stochastic.Result
+	var err error
+	if col.exact != "" {
+		res, err = exact.RunContext(ctx, b.Circuit, r.Model, stochastic.Options{
+			Mode:         stochastic.ModeExact,
+			ExactBackend: col.exact,
+			Timeout:      r.Budget,
+		})
+	} else {
+		// Mode passes through so an unknown value fails the cell loudly
+		// (stochastic.ValidateMode) instead of silently sampling.
+		res, err = stochastic.RunContext(ctx, b.Circuit, col.factory, r.Model, stochastic.Options{
+			Mode:             r.Mode,
+			Runs:             r.Runs,
+			Workers:          r.Workers,
+			Seed:             r.Seed,
+			Timeout:          r.Budget,
+			TargetAccuracy:   r.TargetAccuracy,
+			TargetConfidence: r.TargetConfidence,
+			Checkpointing:    r.Checkpointing,
+		})
+	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return Cell{Status: CellError, Err: "interrupted"}
+		}
 		return Cell{Status: CellError, Err: err.Error()}
 	}
 	if res.Interrupted {
@@ -144,18 +201,19 @@ func (r *Runner) measure(b Benchmark, f sim.Factory) Cell {
 // at some size, larger sizes are skipped for it and reported as
 // ">budget*", exactly as the paper's tables propagate ">3600".
 func (r *Runner) RunScalable(title string, sizes []int, gen func(n int) Benchmark) *Table {
+	engines := r.engines()
 	t := &Table{Title: title, Columns: r.columns()}
-	dead := make([]bool, len(r.Backends))
+	dead := make([]bool, len(engines))
 	for _, n := range sizes {
 		b := gen(n)
-		row := Row{Label: b.Name, N: n, Cells: make([]Cell, len(r.Backends))}
-		for i, nf := range r.Backends {
+		row := Row{Label: b.Name, N: n, Cells: make([]Cell, len(engines))}
+		for i, col := range engines {
 			if dead[i] {
 				row.Cells[i] = Cell{Status: CellSkipped}
 				continue
 			}
-			r.logf("%s: n=%d %s", title, n, nf.Name)
-			cell := r.measure(b, nf.Factory)
+			r.logf("%s: n=%d %s", title, n, col.name)
+			cell := r.measure(b, col)
 			if cell.Status == CellTimeout || cell.Status == CellError {
 				dead[i] = true
 			}
@@ -168,12 +226,13 @@ func (r *Runner) RunScalable(title string, sizes []int, gen func(n int) Benchmar
 
 // RunFixed reproduces a Table Ic-style list of independent workloads.
 func (r *Runner) RunFixed(title string, benches []Benchmark) *Table {
+	engines := r.engines()
 	t := &Table{Title: title, Columns: r.columns()}
 	for _, b := range benches {
-		row := Row{Label: b.Name, N: b.Circuit.NumQubits, Cells: make([]Cell, len(r.Backends))}
-		for i, nf := range r.Backends {
-			r.logf("%s: %s %s", title, b.Name, nf.Name)
-			row.Cells[i] = r.measure(b, nf.Factory)
+		row := Row{Label: b.Name, N: b.Circuit.NumQubits, Cells: make([]Cell, len(engines))}
+		for i, col := range engines {
+			r.logf("%s: %s %s", title, b.Name, col.name)
+			row.Cells[i] = r.measure(b, col)
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -196,6 +196,12 @@ func prepareJob(job Job) (*jobState, error) {
 	if err := job.Model.Validate(); err != nil {
 		return nil, err
 	}
+	if err := job.Opts.ValidateMode(); err != nil {
+		return nil, err
+	}
+	if job.Opts.Mode == ModeExact {
+		return nil, errors.New("stochastic: exact-mode job routed to the trajectory engine (dispatch through ddsim.Simulate/BatchSimulate or internal/exact)")
+	}
 	job.Opts.normalize()
 	if err := job.Opts.validateCheckpointing(); err != nil {
 		return nil, err

@@ -24,6 +24,34 @@ import (
 	"ddsim/internal/sim"
 )
 
+// Simulation modes accepted by Options.Mode.
+const (
+	// ModeStochastic (the default) runs the Monte-Carlo trajectory
+	// engine: noise is sampled, estimates carry a Theorem-1 confidence
+	// radius.
+	ModeStochastic = "stochastic"
+	// ModeExact runs the deterministic density-matrix engine
+	// (internal/exact): noise is applied as exact channels, the full
+	// 2^n outcome distribution is returned with Runs = 0 and
+	// Result.Exact set. Measurements, resets and classically
+	// conditioned gates are handled by probability-weighted branching
+	// over outcome histories.
+	ModeExact = "exact"
+)
+
+// Exact-mode density-matrix representations accepted by
+// Options.ExactBackend.
+const (
+	// ExactDDensity stores the density matrix as a decision diagram
+	// (internal/ddensity) — the paper's structural-compression story,
+	// compact whenever ρ has structure. The exact-mode default.
+	ExactDDensity = "ddensity"
+	// ExactDensity stores the density matrix as a dense 2^n × 2^n
+	// array (internal/density) — the brute-force reference, limited to
+	// small registers.
+	ExactDensity = "density"
+)
+
 // Options configures a stochastic simulation. The struct marshals to
 // JSON (ddsimd job submissions): durations are serialised as
 // nanoseconds and the OnProgress callback is excluded.
@@ -65,6 +93,18 @@ type Options struct {
 	// TargetConfidence is the confidence level 1−δ of the adaptive
 	// stopping rule and of Result.ConfidenceRadius (default 0.95).
 	TargetConfidence float64 `json:"target_confidence,omitempty"`
+
+	// Mode selects the simulation engine: ModeStochastic (default,
+	// also selected by "") samples Monte-Carlo trajectories, ModeExact
+	// evolves the full density matrix deterministically and returns
+	// exact probabilities (Result.Exact, Runs = 0). In exact mode the
+	// trajectory knobs (Runs, Seed, Shots, ChunkSize, TargetAccuracy)
+	// are ignored; Timeout, TrackStates and TrackFidelity apply.
+	Mode string `json:"mode,omitempty"`
+	// ExactBackend selects the exact-mode density-matrix
+	// representation: ExactDDensity (default) or ExactDensity. Ignored
+	// in stochastic mode.
+	ExactBackend string `json:"exact_backend,omitempty"`
 
 	// Checkpointing selects the trajectory checkpoint/fork
 	// optimisation: the deterministic prefix of the circuit (up to the
@@ -108,9 +148,30 @@ type Options struct {
 //     reduction order, so it is result-relevant);
 //   - TargetConfidence is normalised to its 0.95 default (it feeds
 //     Result.ConfidenceRadius even without adaptive stopping);
-//   - TrackStates is copied, with an empty slice canonicalised to nil.
+//   - TrackStates is copied, with an empty slice canonicalised to nil;
+//   - Mode is normalised to its engine name ("" → ModeStochastic). In
+//     exact mode the entire trajectory vocabulary (Runs, Seed, Shots,
+//     ChunkSize, Timeout, adaptive stopping) is dropped — the
+//     deterministic result depends only on the circuit, the noise
+//     points, the tracked properties and the ExactBackend (normalised
+//     to its ExactDDensity default).
 func (o Options) Canonical() Options {
+	if o.Mode == ModeExact {
+		c := Options{
+			Mode:          ModeExact,
+			ExactBackend:  o.ExactBackend,
+			TrackFidelity: o.TrackFidelity,
+		}
+		if c.ExactBackend == "" {
+			c.ExactBackend = ExactDDensity
+		}
+		if len(o.TrackStates) > 0 {
+			c.TrackStates = append([]uint64(nil), o.TrackStates...)
+		}
+		return c
+	}
 	c := Options{
+		Mode:             ModeStochastic,
 		Runs:             o.Runs,
 		Seed:             o.Seed,
 		Shots:            o.Shots,
@@ -136,6 +197,25 @@ func (o Options) Canonical() Options {
 		c.TargetConfidence = 0.95
 	}
 	return c
+}
+
+// ValidateMode rejects unknown Options.Mode and Options.ExactBackend
+// values. Every engine entry point calls it; "" means the respective
+// default.
+func (o *Options) ValidateMode() error {
+	switch o.Mode {
+	case "", ModeStochastic, ModeExact:
+	default:
+		return fmt.Errorf("stochastic: unknown mode %q (want %s or %s)",
+			o.Mode, ModeStochastic, ModeExact)
+	}
+	switch o.ExactBackend {
+	case "", ExactDDensity, ExactDensity:
+	default:
+		return fmt.Errorf("stochastic: unknown exact backend %q (want %s or %s)",
+			o.ExactBackend, ExactDDensity, ExactDensity)
+	}
+	return nil
 }
 
 func (o *Options) normalize() {
@@ -243,6 +323,35 @@ type Result struct {
 	Checkpointed bool `json:"checkpointed,omitempty"`
 	// Workers echoes the worker count used.
 	Workers int `json:"workers"`
+
+	// Exact reports that the result was produced by the deterministic
+	// density-matrix engine (Options.Mode = ModeExact): Probabilities,
+	// TrackedProbs, ClassicalProbs and MeanFidelity are exact, Runs is
+	// 0 and ConfidenceRadius does not apply (it is 0). The remaining
+	// fields below are only populated on exact results.
+	Exact bool `json:"exact,omitempty"`
+	// ExactBackend echoes the density-matrix representation used
+	// (ExactDDensity or ExactDensity).
+	ExactBackend string `json:"exact_backend,omitempty"`
+	// Probabilities holds all 2^n basis-state outcome probabilities of
+	// the final ensemble-averaged state — the exact analogue of the
+	// Counts histogram.
+	Probabilities []float64 `json:"probabilities,omitempty"`
+	// ClassicalProbs maps classical register values to their exact
+	// outcome-history probabilities, for circuits containing
+	// measurements — the exact analogue of ClassicalCounts.
+	ClassicalProbs map[uint64]float64 `json:"classical_probs,omitempty"`
+	// Branches is the peak number of outcome-history branches the
+	// exact engine tracked for this job (1 when the circuit has no
+	// mid-circuit randomness).
+	Branches int `json:"branches,omitempty"`
+	// Purity is tr(ρ²) of the final state: 1 for pure states, down to
+	// 1/2^n for noise-induced mixtures.
+	Purity float64 `json:"purity,omitempty"`
+	// DDNodes is the final density-diagram node count (ExactDDensity
+	// backend only) — the paper's compactness measure for the squared
+	// representation.
+	DDNodes int `json:"dd_nodes,omitempty"`
 }
 
 // SampleFraction returns the fraction of samples that landed on idx.
@@ -357,11 +466,7 @@ func execSiteOp(b sim.Backend, op *circuit.Op, rng *rand.Rand, clbits []uint64) 
 }
 
 func condHolds(cond *circuit.Condition, clbits uint64) bool {
-	var v uint64
-	for i, b := range cond.Bits {
-		v |= (clbits >> uint(b) & 1) << uint(i)
-	}
-	return v == cond.Value
+	return cond.Holds(clbits)
 }
 
 // measure samples one qubit and collapses the state.
@@ -403,6 +508,10 @@ func Deterministic(c *circuit.Circuit, factory sim.Factory, seed int64) (sim.Bac
 
 // Describe formats a one-line summary of a result for CLI output.
 func Describe(r *Result) string {
+	if r.Exact {
+		return fmt.Sprintf("exact(%s) elapsed=%s branches=%d purity=%.6f dd_nodes=%d timed_out=%v",
+			r.ExactBackend, r.Elapsed.Round(time.Millisecond), r.Branches, r.Purity, r.DDNodes, r.TimedOut)
+	}
 	return fmt.Sprintf("runs=%d/%d workers=%d elapsed=%s radius=±%.4f timed_out=%v interrupted=%v distinct_outcomes=%d",
 		r.Runs, r.TargetRuns, r.Workers, r.Elapsed.Round(time.Millisecond),
 		r.ConfidenceRadius, r.TimedOut, r.Interrupted, len(r.Counts))

@@ -74,6 +74,34 @@ var (
 	CheckpointBytesRetained = NewGauge("ddsim_checkpoint_bytes_retained",
 		"Largest byte footprint retained by one worker's checkpoints.")
 
+	// ExactChannelApplications counts single-qubit error-channel
+	// applications (ρ → Σ K ρ K†) executed by the exact density-matrix
+	// engine — its work unit, the analogue of GateApplications for
+	// sampled noise.
+	ExactChannelApplications = NewCounter("ddsim_exact_channel_applications_total",
+		"Error-channel applications executed by the exact density-matrix engine.")
+
+	// ExactBranches is the high-water mark of simultaneously tracked
+	// outcome-history branches in one exact-engine job (measurements
+	// and classical conditions fork branches; equal classical histories
+	// are merged back).
+	ExactBranches = NewGauge("ddsim_exact_branches",
+		"Largest outcome-history branch count tracked by one exact-engine job.")
+
+	// ExactDDNodes is the high-water mark of density-matrix decision-
+	// diagram nodes retained by one exact-engine job (ddensity backend
+	// only; the paper's structural-compression measure, squared
+	// representation included).
+	ExactDDNodes = NewGauge("ddsim_exact_dd_nodes",
+		"Largest density-matrix DD node count retained by one exact-engine job.")
+
+	// ExactPurity is tr(ρ²) of the most recently finished exact
+	// simulation's final state: 1.0 for pure states, 1/2^n at the fully
+	// mixed floor — a live measure of how much decoherence the noise
+	// model injects.
+	ExactPurity = NewFloatGauge("ddsim_exact_purity",
+		"tr(rho^2) of the most recently finished exact simulation.")
+
 	// JobsQueued / JobsRunning / JobsDone track the ddsimd service job
 	// lifecycle (done is labelled by terminal status:
 	// done / cancelled / failed).
@@ -141,10 +169,15 @@ func Summary() string {
 	if applied+skipped > 0 {
 		skipPct = 100 * float64(skipped) / float64(applied+skipped)
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"trajectories=%d gates[applied=%d skipped=%.1f%%] ckpt[forks=%d] dd[created=%d peak=%d gc=%d unique-hit=%.1f%% compute-hit=%.1f%%]",
 		Trajectories.Value(), applied, skipPct, CheckpointForks.Value(),
 		DDNodesCreated.Value(), DDPeakNodes.Value(), DDGCRuns.Value(),
 		hitRate(DDUniqueHits, DDUniqueLookups),
 		hitRate(DDComputeHits, DDComputeLookups))
+	if ch := ExactChannelApplications.Value(); ch > 0 {
+		s += fmt.Sprintf(" exact[channels=%d branches=%d purity=%.4f]",
+			ch, ExactBranches.Value(), ExactPurity.Value())
+	}
+	return s
 }

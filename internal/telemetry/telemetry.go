@@ -190,6 +190,37 @@ func (g *Gauge) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
 }
 
+// FloatGauge is a float-valued gauge (purity, ratios). Set stores the
+// float bits atomically.
+type FloatGauge struct {
+	nm, help string
+	bits     atomic.Uint64
+}
+
+// NewFloatGauge creates and registers a float gauge in the Default
+// registry.
+func NewFloatGauge(name, help string) *FloatGauge { return Default.NewFloatGauge(name, help) }
+
+// NewFloatGauge creates and registers a float gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{nm: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) name() string { return g.nm }
+
+func (g *FloatGauge) write(w io.Writer) {
+	writeHeader(w, g.nm, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.Value()))
+}
+
 // GaugeFunc is a metric whose value is computed at scrape time — used
 // for Go runtime statistics. The exposed TYPE is "gauge" for
 // NewGaugeFunc and "counter" for NewCounterFunc (monotonic sources
