@@ -235,6 +235,11 @@ type jsonCell struct {
 	Status  string  `json:"status"`
 	Seconds float64 `json:"seconds,omitempty"`
 	Error   string  `json:"error,omitempty"`
+	// AllocsPerOp/BytesPerOp are runtime.MemStats deltas per trajectory
+	// for ok cells — the allocation signal scripts/check_bench.sh gates
+	// on alongside wall time.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 }
 
 func cellStatus(s qbench.CellStatus) string {
@@ -283,9 +288,11 @@ func writeJSON(path string, r *qbench.Runner, tables []*qbench.Table, interrupte
 			jr := jsonRow{Name: row.Label, N: row.N}
 			for _, c := range row.Cells {
 				jr.Cells = append(jr.Cells, jsonCell{
-					Status:  cellStatus(c.Status),
-					Seconds: c.Elapsed.Seconds(),
-					Error:   c.Err,
+					Status:      cellStatus(c.Status),
+					Seconds:     c.Elapsed.Seconds(),
+					Error:       c.Err,
+					AllocsPerOp: c.AllocsPerOp,
+					BytesPerOp:  c.BytesPerOp,
 				})
 			}
 			jt.Rows = append(jt.Rows, jr)

@@ -21,6 +21,8 @@ package cnum
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync"
 )
 
 // Tolerance is the default per-component distance below which two
@@ -36,8 +38,9 @@ const Tolerance = 1e-10
 type Value struct {
 	re, im float64
 	id     uint32 // table-unique, used for cheap hashing downstream
+	pins   int32  // root-weight pin count (see Pin/Unpin)
 	marked bool   // mark-and-sweep flag (see BeginMark/Mark/Sweep)
-	next   *Value // hash-bucket chain
+	next   *Value // hash-bucket chain, or free-list chain once recycled
 }
 
 // Re returns the real part of the value.
@@ -82,6 +85,16 @@ type Table struct {
 	count   int
 	nextID  uint32
 
+	// Arena storage (see ArenaEnabled): values live in append-only
+	// slabs whose backing arrays never move, and Sweep recycles dead
+	// values through the free list instead of dropping them to the Go
+	// collector. A recycled slot keeps its id, so live IDs stay dense.
+	slabs   [][]Value
+	free    *Value
+	recycle bool
+
+	released bool
+
 	// tol is the per-component identification distance; cell is the
 	// side of one hash-grid cell (4·tol, see neighborDir).
 	tol, cell float64
@@ -108,10 +121,98 @@ func NewTableTol(tol float64) *Table {
 	if tol <= 0 {
 		panic("cnum: tolerance must be positive")
 	}
-	t := &Table{buckets: make([]*Value, 1<<12), nextID: 1, tol: tol, cell: 4 * tol}
+	t := &Table{buckets: make([]*Value, 1<<12), nextID: 1, tol: tol, cell: 4 * tol,
+		recycle: ArenaEnabled()}
 	t.Zero = t.Lookup(0, 0)
 	t.One = t.Lookup(1, 0)
 	return t
+}
+
+// ArenaEnabled reports whether the value arena (slab allocation, free-
+// list recycling on Sweep, slab pooling on Release) is active. It is on
+// unless the DDSIM_DD_ARENA environment variable is set to "off" — the
+// escape hatch the differential tests use to compare arena-on and
+// arena-off results bit for bit.
+func ArenaEnabled() bool { return os.Getenv("DDSIM_DD_ARENA") != "off" }
+
+// valueSlabSize is the number of values per arena slab. Slabs are
+// append-only (the backing array never moves, so interior pointers
+// stay valid) and are returned to a process-wide pool by Release.
+const valueSlabSize = 2048
+
+var valueSlabPool = sync.Pool{
+	New: func() interface{} {
+		s := make([]Value, 0, valueSlabSize)
+		return &s
+	},
+}
+
+// newValue materialises one interned value: from the free list (the
+// slot keeps its id — live IDs stay unique because a value is only
+// recycled after Sweep removed it from every bucket chain), from the
+// current slab, or — with the arena disabled — from the Go heap.
+func (t *Table) newValue(re, im float64) *Value {
+	if v := t.free; v != nil {
+		t.free = v.next
+		v.re, v.im = re, im
+		v.next = nil
+		v.marked = false
+		return v
+	}
+	if !t.recycle {
+		v := &Value{re: re, im: im, id: t.nextID}
+		t.nextID++
+		return v
+	}
+	if len(t.slabs) == 0 || len(t.slabs[len(t.slabs)-1]) == valueSlabSize {
+		t.slabs = append(t.slabs, (*valueSlabPool.Get().(*[]Value))[:0])
+	}
+	s := &t.slabs[len(t.slabs)-1]
+	*s = append(*s, Value{re: re, im: im, id: t.nextID})
+	t.nextID++
+	return &(*s)[len(*s)-1]
+}
+
+// Pin marks v as a root weight: a weight held outside the diagram
+// structure (the DD package pins the weight of every Ref'd root edge).
+// Pinned values survive Sweep even when no live node stores them —
+// necessary since Sweep recycles storage when the arena is enabled, so
+// "swept but still usable as a number" no longer holds. Pins nest;
+// nil is ignored.
+func (t *Table) Pin(v *Value) {
+	if v != nil {
+		v.pins++
+	}
+}
+
+// Unpin releases a pin taken with Pin.
+func (t *Table) Unpin(v *Value) {
+	if v == nil {
+		return
+	}
+	if v.pins <= 0 {
+		panic("cnum: Unpin of unpinned value")
+	}
+	v.pins--
+}
+
+// Release returns the table's arena slabs to the process-wide pool for
+// reuse by future tables. The table must not be used afterwards, and no
+// *Value obtained from it may be dereferenced again. No-op when the
+// arena is disabled (heap values are left to the Go collector).
+func (t *Table) Release() {
+	if !t.recycle || t.released {
+		return
+	}
+	t.released = true
+	for i := range t.slabs {
+		s := t.slabs[i][:cap(t.slabs[i])]
+		clear(s) // drop chain pointers so pooled slabs retain nothing
+		s = s[:0]
+		valueSlabPool.Put(&s)
+	}
+	t.slabs, t.free, t.buckets = nil, nil, nil
+	t.Zero, t.One = nil, nil
 }
 
 // Count returns the number of distinct interned values.
@@ -222,8 +323,7 @@ func (t *Table) Lookup(re, im float64) *Value {
 	if t.count >= len(t.buckets)*2 {
 		t.grow()
 	}
-	v := &Value{re: re, im: im, id: t.nextID}
-	t.nextID++
+	v := t.newValue(re, im)
 	idx := t.bucketIndex(qr, qi)
 	v.next = t.buckets[idx]
 	t.buckets[idx] = v
@@ -263,27 +363,33 @@ func (t *Table) Mark(v *Value) {
 	}
 }
 
-// Sweep removes every unmarked value except the canonical Zero and
-// One, returning the number of values dropped. Callers (the DD
-// package's garbage collector) must have Marked every value that is
-// still referenced *structurally* — i.e. every edge weight stored in
-// a live node. Free-floating values (root weights held by user code)
-// may be swept: they remain perfectly usable as numbers, and interning
-// the same number later simply creates a fresh representative. Only
-// structural weights need stable identities for unique-table lookups,
-// and those are exactly the marked ones.
+// Sweep removes every unmarked, unpinned value except the canonical
+// Zero and One, returning the number of values dropped. Callers (the
+// DD package's garbage collector) must have Marked every value that is
+// still referenced *structurally* — i.e. every edge weight stored in a
+// live node — and Pinned every root weight held outside the structure
+// (the DD package does this inside Ref/RefM). With the arena enabled a
+// swept value's storage is recycled by a later Lookup, so dereferencing
+// it afterwards is a use-after-free; the freed slot is poisoned with
+// NaNs so such a bug surfaces as a loud non-finite-value panic instead
+// of silent corruption.
 func (t *Table) Sweep() int {
 	dropped := 0
 	for i, chain := range t.buckets {
 		var keep *Value
 		for v := chain; v != nil; {
 			next := v.next
-			if v.marked || v == t.Zero || v == t.One {
+			if v.marked || v.pins > 0 || v == t.Zero || v == t.One {
 				v.next = keep
 				keep = v
 			} else {
 				dropped++
 				t.count--
+				if t.recycle {
+					v.re, v.im = math.NaN(), math.NaN()
+					v.next = t.free
+					t.free = v
+				}
 			}
 			v = next
 		}

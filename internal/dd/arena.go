@@ -1,0 +1,188 @@
+package dd
+
+// The kernel memory plane: slab arenas and free lists for decision-
+// diagram nodes, and a process-wide pool for the per-Package compute
+// caches.
+//
+// makeVNode/makeMNode sit on the innermost simulation loop; allocating
+// every transient node individually hands millions of short-lived,
+// pointer-dense objects to the Go collector per noisy trajectory
+// batch. Instead, nodes live in append-only slabs owned by their
+// Package (backing arrays never move, so node pointers stay valid) and
+// dead nodes are recycled through a free list when the package's own
+// GarbageCollect unlinks them — the only point where no compute-cache
+// entry or unique-table chain can still mention them. A recycled slot
+// keeps the id it was assigned at first materialisation, so live node
+// IDs stay dense and stable for the unique-table hashing.
+//
+// The compute caches (~9 fixed-size direct-mapped tables, several MB
+// per Package) dominate the allocation profile of short jobs, where a
+// fresh Package is compiled per worker per job. Release returns them —
+// and the node slabs — to process-wide pools for the next Package.
+//
+// Everything here is disabled when DDSIM_DD_ARENA=off (see
+// cnum.ArenaEnabled): nodes come from the Go heap, GC drops them, and
+// Release is a no-op — the legacy behaviour the differential tests
+// compare against bit for bit.
+
+import (
+	"sync"
+)
+
+// nodeSlabSize is the number of nodes per arena slab (VNode slabs are
+// ~72 KiB, MNode slabs ~136 KiB at this size).
+const nodeSlabSize = 1024
+
+var vSlabPool = sync.Pool{
+	New: func() interface{} {
+		s := make([]VNode, 0, nodeSlabSize)
+		return &s
+	},
+}
+
+var mSlabPool = sync.Pool{
+	New: func() interface{} {
+		s := make([]MNode, 0, nodeSlabSize)
+		return &s
+	},
+}
+
+// cacheSet bundles the direct-mapped compute caches so they can be
+// pooled as one unit across Package lifetimes. Sets are cleared before
+// they are pooled, so a Get returns ready-to-use memory and the pool
+// retains no node or weight pointers.
+type cacheSet struct {
+	mv    []mvEntry
+	add   []addEntry
+	madd  []maddEntry
+	mm    []mmEntry
+	kron  []kronEntry
+	dot   []dotEntry
+	ct    []ctEntry
+	norm2 []norm2Entry
+	prob  []probEntry
+}
+
+func newCacheSet() *cacheSet {
+	return &cacheSet{
+		mv:    make([]mvEntry, 1<<mvCacheBits),
+		add:   make([]addEntry, 1<<addCacheBits),
+		madd:  make([]maddEntry, 1<<mmCacheBits),
+		mm:    make([]mmEntry, 1<<mmCacheBits),
+		kron:  make([]kronEntry, 1<<kronCacheBits),
+		dot:   make([]dotEntry, 1<<dotCacheBits),
+		ct:    make([]ctEntry, 1<<ctCacheBits),
+		norm2: make([]norm2Entry, 1<<norm2CacheBits),
+		prob:  make([]probEntry, 1<<probCacheBits),
+	}
+}
+
+var cacheSetPool = sync.Pool{
+	New: func() interface{} { return newCacheSet() },
+}
+
+// allocVNode materialises a vector node: from the free list (recycled
+// at the last GarbageCollect; the slot keeps its id), from the current
+// slab, or — arena disabled — from the Go heap. The caller fills E,
+// Level and the bucket chain; ref is zero either way.
+func (p *Package) allocVNode() *VNode {
+	p.nodesCreated++
+	if n := p.vFree; n != nil {
+		p.vFree = n.next
+		n.next = nil
+		return n
+	}
+	if !p.recycle {
+		n := &VNode{id: p.nextVID}
+		p.nextVID++
+		return n
+	}
+	if len(p.vSlabs) == 0 || len(p.vSlabs[len(p.vSlabs)-1]) == nodeSlabSize {
+		p.vSlabs = append(p.vSlabs, (*vSlabPool.Get().(*[]VNode))[:0])
+	}
+	s := &p.vSlabs[len(p.vSlabs)-1]
+	*s = append(*s, VNode{id: p.nextVID})
+	p.nextVID++
+	return &(*s)[len(*s)-1]
+}
+
+// allocMNode is the matrix analogue of allocVNode.
+func (p *Package) allocMNode() *MNode {
+	if n := p.mFree; n != nil {
+		p.mFree = n.next
+		n.next = nil
+		return n
+	}
+	if !p.recycle {
+		n := &MNode{id: p.nextMID}
+		p.nextMID++
+		return n
+	}
+	if len(p.mSlabs) == 0 || len(p.mSlabs[len(p.mSlabs)-1]) == nodeSlabSize {
+		p.mSlabs = append(p.mSlabs, (*mSlabPool.Get().(*[]MNode))[:0])
+	}
+	s := &p.mSlabs[len(p.mSlabs)-1]
+	*s = append(*s, MNode{id: p.nextMID})
+	p.nextMID++
+	return &(*s)[len(*s)-1]
+}
+
+// freeVNode pushes a node just unlinked by GarbageCollect onto the
+// free list. Edges are cleared so the dead node retains neither child
+// nodes nor weights; no-op when recycling is disabled.
+func (p *Package) freeVNode(n *VNode) {
+	if !p.recycle {
+		return
+	}
+	n.E[0] = VEdge{}
+	n.E[1] = VEdge{}
+	n.next = p.vFree
+	p.vFree = n
+}
+
+// freeMNode is the matrix analogue of freeVNode.
+func (p *Package) freeMNode(n *MNode) {
+	if !p.recycle {
+		return
+	}
+	for i := range n.E {
+		n.E[i] = MEdge{}
+	}
+	n.next = p.mFree
+	p.mFree = n
+}
+
+// Release returns the package's pooled kernel memory — compute caches,
+// node slabs and the weight table's value slabs — to the process-wide
+// pools for the next Package. The package (and every edge, node or
+// weight obtained from it) must not be used afterwards; the unique
+// tables are dropped so accidental use fails fast. Backends call this
+// when a worker retires a compiled job (sim.Releaser). No-op when the
+// arena is disabled.
+func (p *Package) Release() {
+	if !p.recycle || p.released {
+		return
+	}
+	p.released = true
+	p.clearCaches()
+	cacheSetPool.Put(p.cs)
+	p.cs = nil
+	p.mvCache, p.addCache, p.maddCache, p.mmCache = nil, nil, nil, nil
+	p.kronCache, p.dotCache, p.ctCache, p.norm2Cache, p.probCache = nil, nil, nil, nil, nil
+	for i := range p.vSlabs {
+		s := p.vSlabs[i][:cap(p.vSlabs[i])]
+		clear(s) // pooled slabs must not retain nodes or weights
+		s = s[:0]
+		vSlabPool.Put(&s)
+	}
+	for i := range p.mSlabs {
+		s := p.mSlabs[i][:cap(p.mSlabs[i])]
+		clear(s)
+		s = s[:0]
+		mSlabPool.Put(&s)
+	}
+	p.vSlabs, p.mSlabs = nil, nil
+	p.vFree, p.mFree = nil, nil
+	p.vBuckets, p.mBuckets = nil, nil
+	p.W.Release()
+}

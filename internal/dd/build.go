@@ -135,7 +135,7 @@ type Control struct {
 // SingleQubitGate returns the matrix diagram of the n-qubit operator
 // that applies u to the target qubit and the identity elsewhere.
 func (p *Package) SingleQubitGate(u Mat2, target int) MEdge {
-	factors := make([]*Mat2, p.nQubits)
+	factors := p.factorSlice()
 	factors[target] = &u
 	return p.ProductOperator(factors)
 }
@@ -159,7 +159,7 @@ func (p *Package) ControlledGate(u Mat2, target int, controls []Control) MEdge {
 	p1 := Mat2{{0, 0}, {0, 1}}
 	id := Mat2{{1, 0}, {0, 1}}
 
-	factors := make([]*Mat2, p.nQubits)
+	factors := p.factorSlice()
 	for _, c := range controls {
 		if c.Qubit == target {
 			panic("dd: control coincides with target")

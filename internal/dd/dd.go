@@ -217,6 +217,20 @@ type Package struct {
 	mCount   int
 	nextMID  uint32
 
+	// Node arena (see arena.go): append-only slabs owning every node of
+	// this package, with free lists of slots recycled by GarbageCollect.
+	// recycle is fixed at construction from cnum.ArenaEnabled.
+	vSlabs       [][]VNode
+	vFree        *VNode
+	mSlabs       [][]MNode
+	mFree        *MNode
+	nodesCreated int
+	recycle      bool
+	released     bool
+
+	// cs owns the compute-cache storage below; the slice fields alias
+	// it so the hot paths keep their direct indexing.
+	cs         *cacheSet
 	mvCache    []mvEntry
 	addCache   []addEntry
 	maddCache  []maddEntry
@@ -226,6 +240,11 @@ type Package struct {
 	ctCache    []ctEntry
 	norm2Cache []norm2Entry
 	probCache  []probEntry
+
+	// factorScratch is the reusable per-qubit factor list of
+	// ProductOperator callers (gate builders, collapse, Kraus
+	// application) — a Package is single-goroutine by contract.
+	factorScratch []*Mat2
 
 	// gcThreshold triggers automatic garbage collection when the
 	// combined unique-table population exceeds it; wGCThreshold does
@@ -304,6 +323,7 @@ func NewPackageTol(n int, tol float64) *Package {
 		nextMID:      1,
 		gcThreshold:  250000,
 		wGCThreshold: 400000,
+		recycle:      cnum.ArenaEnabled(),
 	}
 	p.allocCaches()
 	return p
@@ -325,15 +345,24 @@ func (p *Package) qubitToLevel(q int) int {
 func (p *Package) levelToQubit(level int) int { return p.nQubits - level }
 
 func (p *Package) allocCaches() {
-	p.mvCache = make([]mvEntry, 1<<mvCacheBits)
-	p.addCache = make([]addEntry, 1<<addCacheBits)
-	p.maddCache = make([]maddEntry, 1<<mmCacheBits)
-	p.mmCache = make([]mmEntry, 1<<mmCacheBits)
-	p.kronCache = make([]kronEntry, 1<<kronCacheBits)
-	p.dotCache = make([]dotEntry, 1<<dotCacheBits)
-	p.ctCache = make([]ctEntry, 1<<ctCacheBits)
-	p.norm2Cache = make([]norm2Entry, 1<<norm2CacheBits)
-	p.probCache = make([]probEntry, 1<<probCacheBits)
+	// The nine caches total several MB and dominate the allocation
+	// profile of short jobs (one fresh Package per worker per job), so
+	// arena-mode packages draw a pre-cleared set from the process-wide
+	// pool instead of allocating; Release returns it.
+	if p.recycle {
+		p.cs = cacheSetPool.Get().(*cacheSet)
+	} else {
+		p.cs = newCacheSet()
+	}
+	p.mvCache = p.cs.mv
+	p.addCache = p.cs.add
+	p.maddCache = p.cs.madd
+	p.mmCache = p.cs.mm
+	p.kronCache = p.cs.kron
+	p.dotCache = p.cs.dot
+	p.ctCache = p.cs.ct
+	p.norm2Cache = p.cs.norm2
+	p.probCache = p.cs.prob
 }
 
 func (p *Package) clearCaches() {
@@ -370,9 +399,21 @@ func (p *Package) PeakVNodes() int { return p.peakVNodes }
 // GCRuns returns how many garbage collections the package performed.
 func (p *Package) GCRuns() int { return p.gcRuns }
 
-// NodesCreated returns the total number of vector nodes ever created,
-// a measure of construction work independent of garbage collection.
-func (p *Package) NodesCreated() int { return int(p.nextVID) - 1 }
+// NodesCreated returns the total number of vector nodes ever
+// materialised (fresh or recycled), a measure of construction work
+// independent of garbage collection.
+func (p *Package) NodesCreated() int { return p.nodesCreated }
+
+// factorSlice returns the package's scratch per-qubit factor list,
+// cleared. Callers must consume it before the next factorSlice call
+// (gate builders, collapse and Kraus application do not nest).
+func (p *Package) factorSlice() []*Mat2 {
+	if p.factorScratch == nil {
+		p.factorScratch = make([]*Mat2, p.nQubits)
+	}
+	clear(p.factorScratch)
+	return p.factorScratch
+}
 
 func (p *Package) vBucketIndex(level int, e0, e1 VEdge) uint64 {
 	h := mixHash(uint64(level),
@@ -431,12 +472,10 @@ func (p *Package) makeVNode(level int, e0, e1 VEdge) VEdge {
 		p.growV()
 		idx = p.vBucketIndex(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
 	}
-	n := &VNode{
-		E:     [2]VEdge{{N: e0.N, W: w0}, {N: e1.N, W: w1}},
-		Level: level,
-		id:    p.nextVID,
-	}
-	p.nextVID++
+	n := p.allocVNode()
+	n.E[0] = VEdge{N: e0.N, W: w0}
+	n.E[1] = VEdge{N: e1.N, W: w1}
+	n.Level = level
 	n.next = p.vBuckets[idx]
 	p.vBuckets[idx] = n
 	p.vCount++
@@ -497,8 +536,9 @@ func (p *Package) makeMNode(level int, e [4]MEdge) MEdge {
 		p.growM()
 		idx = p.mBucketIndex(level, norm)
 	}
-	n := &MNode{E: norm, Level: level, id: p.nextMID}
-	p.nextMID++
+	n := p.allocMNode()
+	n.E = norm
+	n.Level = level
 	n.next = p.mBuckets[idx]
 	p.mBuckets[idx] = n
 	p.mCount++

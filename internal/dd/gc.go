@@ -15,8 +15,13 @@ package dd
 // MaybeGC — never from inside diagram construction — so freshly built,
 // not-yet-referenced results are never swept out from under a caller.
 
-// Ref pins the diagram rooted at e against garbage collection.
+// Ref pins the diagram rooted at e against garbage collection. The
+// root weight is pinned in the weight table too: it hangs off the
+// caller's edge, not off any node, so the mark phase cannot see it —
+// and with recycling on, an unpinned swept weight is poisoned rather
+// than merely dropped.
 func (p *Package) Ref(e VEdge) {
+	p.W.Pin(e.W)
 	if e.N != nil {
 		refV(e.N)
 	}
@@ -24,6 +29,7 @@ func (p *Package) Ref(e VEdge) {
 
 // Unref releases a pin taken with Ref.
 func (p *Package) Unref(e VEdge) {
+	p.W.Unpin(e.W)
 	if e.N != nil {
 		unrefV(e.N)
 	}
@@ -31,6 +37,7 @@ func (p *Package) Unref(e VEdge) {
 
 // RefM pins the operator diagram rooted at e.
 func (p *Package) RefM(e MEdge) {
+	p.W.Pin(e.W)
 	if e.N != nil {
 		refM(e.N)
 	}
@@ -38,6 +45,7 @@ func (p *Package) RefM(e MEdge) {
 
 // UnrefM releases a pin taken with RefM.
 func (p *Package) UnrefM(e MEdge) {
+	p.W.Unpin(e.W)
 	if e.N != nil {
 		unrefM(e.N)
 	}
@@ -105,6 +113,7 @@ func (p *Package) GarbageCollect() int {
 			if n.ref == 0 {
 				collected++
 				p.vCount--
+				p.freeVNode(n)
 			} else {
 				n.next = keep
 				keep = n
@@ -120,6 +129,7 @@ func (p *Package) GarbageCollect() int {
 			if n.ref == 0 {
 				collected++
 				p.mCount--
+				p.freeMNode(n)
 			} else {
 				n.next = keep
 				keep = n
@@ -169,6 +179,14 @@ func (p *Package) SetGCThresholds(nodes, weights int) {
 	}
 }
 
+// NeedsGC reports whether the unique tables or the weight table have
+// outgrown their current thresholds, i.e. whether MaybeGC would
+// collect. It is cheap (three counter loads) and inlinable, so hot
+// loops can gate the pin-collect-unpin dance on it per gate.
+func (p *Package) NeedsGC() bool {
+	return p.vCount+p.mCount >= p.gcThreshold || p.W.Count() >= p.wGCThreshold
+}
+
 // MaybeGC collects garbage if the unique tables or the weight table
 // have outgrown their current thresholds. If a collection frees less
 // than half of the triggering population, that threshold doubles so
@@ -176,12 +194,12 @@ func (p *Package) SetGCThresholds(nodes, weights int) {
 // useless sweeps. Callers must have pinned every diagram they still
 // need.
 func (p *Package) MaybeGC() bool {
+	if !p.NeedsGC() {
+		return false
+	}
 	pop := p.vCount + p.mCount
 	nodesOver := pop >= p.gcThreshold
 	weightsOver := p.W.Count() >= p.wGCThreshold
-	if !nodesOver && !weightsOver {
-		return false
-	}
 	wBefore := p.W.Count()
 	collected := p.GarbageCollect()
 	if nodesOver && collected*2 < pop {

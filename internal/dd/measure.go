@@ -151,7 +151,7 @@ func (p *Package) CollapseQubit(e VEdge, qubit, outcome int) (VEdge, float64) {
 
 	proj := Mat2{}
 	proj[outcome][outcome] = 1
-	factors := make([]*Mat2, p.nQubits)
+	factors := p.factorSlice()
 	factors[qubit] = &proj
 	projected := p.MulMV(p.ProductOperator(factors), e)
 
@@ -181,7 +181,7 @@ func (p *Package) MeasureQubit(e VEdge, qubit int, rng *rand.Rand) (int, VEdge) 
 // with its squared norm — the probability weight of this branch when
 // the input state was normalised (Example 6).
 func (p *Package) ApplyKraus(e VEdge, k Mat2, qubit int) (VEdge, float64) {
-	factors := make([]*Mat2, p.nQubits)
+	factors := p.factorSlice()
 	factors[qubit] = &k
 	out := p.MulMV(p.ProductOperator(factors), e)
 	return out, p.Norm2(out)

@@ -1,6 +1,7 @@
 package dd
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -142,6 +143,128 @@ func checkNormalized(t *testing.T, p *Package, n *VNode, seen map[*VNode]bool) {
 	}
 	checkNormalized(t, p, n.E[0].N, seen)
 	checkNormalized(t, p, n.E[1].N, seen)
+}
+
+// checkArenaInvariants walks the package's unique tables and free
+// lists after a collection: live node IDs are unique, every chained
+// node hashes to the bucket holding it, and no free-list slot aliases
+// a live node (a recycled slot reappearing in a chain would corrupt
+// hash-consing silently).
+func checkArenaInvariants(t *testing.T, p *Package) {
+	t.Helper()
+	liveV := make(map[*VNode]bool)
+	seenVID := make(map[uint32]*VNode)
+	countV := 0
+	for idx, chain := range p.vBuckets {
+		for n := chain; n != nil; n = n.next {
+			countV++
+			liveV[n] = true
+			if prev, ok := seenVID[n.id]; ok && prev != n {
+				t.Fatalf("two live vector nodes share id %d", n.id)
+			}
+			seenVID[n.id] = n
+			if got := p.vBucketIndex(n.Level, n.E[0], n.E[1]); got != uint64(idx) {
+				t.Fatalf("vector node id %d chained in bucket %d, hashes to %d", n.id, idx, got)
+			}
+		}
+	}
+	if countV != p.vCount {
+		t.Fatalf("vCount %d but %d nodes chained", p.vCount, countV)
+	}
+	for f := p.vFree; f != nil; f = f.next {
+		if liveV[f] {
+			t.Fatalf("free-list vector node id %d aliases a live unique-table node", f.id)
+		}
+	}
+	liveM := make(map[*MNode]bool)
+	for idx, chain := range p.mBuckets {
+		for n := chain; n != nil; n = n.next {
+			liveM[n] = true
+			if got := p.mBucketIndex(n.Level, n.E); got != uint64(idx) {
+				t.Fatalf("matrix node id %d chained in bucket %d, hashes to %d", n.id, idx, got)
+			}
+		}
+	}
+	for f := p.mFree; f != nil; f = f.next {
+		if liveM[f] {
+			t.Fatalf("free-list matrix node id %d aliases a live unique-table node", f.id)
+		}
+	}
+}
+
+// TestArenaRecycleInvariants cycles Ref/Unref/GarbageCollect/rebuild
+// so collected slots are recycled into new diagrams, and checks after
+// every collection that recycling never aliased a live node, IDs stay
+// unique, chains stay consistent — and that the pinned survivors
+// still evaluate to the amplitudes they were built from.
+func TestArenaRecycleInvariants(t *testing.T) {
+	p := NewPackage(5)
+	if !p.recycle {
+		t.Skip("arena disabled (DDSIM_DD_ARENA=off)")
+	}
+	rng := rand.New(rand.NewSource(123))
+	type pinned struct {
+		e    VEdge
+		amps []complex128
+	}
+	var live []pinned
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 4; i++ {
+			e, amps := randomVecDD(p, rng)
+			p.Ref(e)
+			live = append(live, pinned{e: e, amps: amps})
+		}
+		// A couple of matrix diagrams per round exercise the MNode
+		// free list too; unpinned, they die at the collection below.
+		target := rng.Intn(5)
+		ctrl := (target + 1 + rng.Intn(4)) % 5
+		g := p.ControlledGate(Mat2{{0, 1}, {1, 0}}, target, []Control{{Qubit: ctrl}})
+		_ = p.MulMM(g, g)
+		for i := 0; i < len(live) && len(live) > 2; {
+			if rng.Float64() < 0.4 {
+				p.Unref(live[i].e)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		p.GarbageCollect()
+		checkArenaInvariants(t, p)
+		for li, pe := range live {
+			got := p.ToVector(pe.e)
+			for k := range got {
+				if cmplx.Abs(got[k]-pe.amps[k]) > 1e-6 {
+					t.Fatalf("round %d: pinned diagram %d amplitude %d drifted: %v vs %v",
+						round, li, k, got[k], pe.amps[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPackageReleasePools churns packages through build/GC/Release in
+// parallel so the process-wide slab and cache pools see concurrent
+// Put/Get traffic — under -race this is the data-race check for the
+// memory plane's only cross-goroutine surface.
+func TestPackageReleasePools(t *testing.T) {
+	for w := 0; w < 4; w++ {
+		w := w
+		t.Run(fmt.Sprintf("worker%d", w), func(t *testing.T) {
+			t.Parallel()
+			for j := 0; j < 6; j++ {
+				p := NewPackage(6)
+				rng := rand.New(rand.NewSource(int64(w*100 + j)))
+				e, _ := randomVecDD(p, rng)
+				p.Ref(e)
+				p.GarbageCollect()
+				checkArenaInvariants(t, p)
+				p.Unref(e)
+				p.GarbageCollect()
+				p.Release()
+				p.Release() // idempotent
+			}
+		})
+	}
 }
 
 // TestKronDistributesOverMulProperty: (A⊗B)(C⊗D) == (AC)⊗(BD) for

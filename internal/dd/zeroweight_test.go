@@ -1,6 +1,10 @@
 package dd
 
-import "testing"
+import (
+	"fmt"
+	"math"
+	"testing"
+)
 
 // A weight product that underflows the interning tolerance snaps to
 // the canonical zero, which used to leave "semantically zero" edges —
@@ -46,5 +50,58 @@ func TestZeroWeightEdgesAreSemanticallyZero(t *testing.T) {
 	}
 	if r := p.AddM(prod, g); r != g {
 		t.Errorf("AddM(underflowed product, g) = %+v, want g", r)
+	}
+}
+
+// TestMatrixNearUnderflowNormalization drives the matrix-DD
+// normalisation path — makeMNode's quadrant division through cnum.Div
+// — over weight products just above and below the interning
+// tolerance. AddM/MulMM chains of tiny-weight operators push some
+// quadrant weights through the canonical-zero snap while their
+// siblings survive; none of it may panic with "division by zero
+// weight", and every produced diagram must be the structural zero
+// stub or act on states with finite amplitudes.
+func TestMatrixNearUnderflowNormalization(t *testing.T) {
+	p := NewPackage(2)
+
+	basis := []VEdge{p.BasisState(0), p.BasisState(1), p.BasisState(2), p.BasisState(3)}
+	check := func(label string, e MEdge) {
+		t.Helper()
+		if e.IsZero() {
+			return
+		}
+		for bi, b := range basis {
+			v := p.ToVector(p.MulMV(e, b))
+			for i, a := range v {
+				if math.IsNaN(real(a)) || math.IsNaN(imag(a)) ||
+					math.IsInf(real(a), 0) || math.IsInf(imag(a), 0) {
+					t.Fatalf("%s: non-finite amplitude %v at index %d applying to basis %d", label, a, i, bi)
+				}
+			}
+		}
+	}
+
+	// Operator weights spanning 1e-4 .. 1e-6: pairwise products sit at
+	// 1e-8 .. 1e-12, straddling the default 1e-10 tolerance.
+	var ops []MEdge
+	for _, s := range []float64{1e-4, 1e-5, 3e-6, 1e-6} {
+		c := complex(s, 0)
+		ops = append(ops,
+			p.SingleQubitGate(Mat2{{c, 0}, {0, c / 2}}, 0),
+			p.SingleQubitGate(Mat2{{0, c}, {complex(0, s), 0}}, 1),
+			p.ControlledGate(Mat2{{c, c}, {c, -c}}, 0, []Control{{Qubit: 1}}),
+		)
+	}
+	for i, a := range ops {
+		for j, b := range ops {
+			sum := p.AddM(a, b)
+			check(fmt.Sprintf("AddM(%d,%d)", i, j), sum)
+			prod := p.MulMM(a, b)
+			check(fmt.Sprintf("MulMM(%d,%d)", i, j), prod)
+			// Second-order chains reach 1e-12 .. 1e-18 — deep under
+			// the tolerance, where whole quadrants snap to zero.
+			check(fmt.Sprintf("MulMM(MulMM(%d,%d),%d)", i, j, j), p.MulMM(prod, b))
+			check(fmt.Sprintf("AddM(MulMM(%d,%d),AddM(%d,%d))", i, j, i, j), p.AddM(prod, sum))
+		}
 	}
 }

@@ -72,7 +72,6 @@ func New(c *circuit.Circuit) (*Backend, error) {
 		b.gates[i] = g
 	}
 	b.state = b.pkg.ZeroState()
-	b.pkg.Ref(b.state)
 	return b, nil
 }
 
@@ -100,11 +99,21 @@ func (b *Backend) Reset() {
 	b.setState(b.pkg.ZeroState())
 }
 
+// setState installs e as the live state. The state carries no
+// standing reference pin: collections run only here, so it suffices
+// to pin the diagram around the collection itself — that turns the
+// per-gate cost from two full ref-walks (Ref new, Unref old) into a
+// three-counter threshold check, and pays the walk only on the rare
+// gate that actually collects. Gate diagrams and snapshots hold their
+// own pins, so the live set at collection time is identical to the
+// always-pinned scheme.
 func (b *Backend) setState(e dd.VEdge) {
-	b.pkg.Ref(e)
-	b.pkg.Unref(b.state)
 	b.state = e
-	b.pkg.MaybeGC()
+	if b.pkg.NeedsGC() {
+		b.pkg.Ref(e)
+		b.pkg.MaybeGC()
+		b.pkg.Unref(e)
+	}
 }
 
 // ApplyOp implements sim.Backend.
@@ -256,6 +265,17 @@ const approxVNodeBytes = 56
 func (b *Backend) StateCost(s sim.State) (nodes, bytes int64) {
 	n := int64(b.pkg.NodeCount(s.(dd.VEdge)))
 	return n, n * approxVNodeBytes
+}
+
+// Release implements sim.Releaser: the underlying DD package returns
+// its pooled kernel memory (node slabs, compute caches, weight slabs)
+// for reuse by future backends. The backend, its snapshots and its
+// state handles must not be used afterwards.
+func (b *Backend) Release() {
+	b.pkg.Release()
+	b.state = dd.VEdge{}
+	b.gates = nil
+	b.pauliCache, b.dampCache, b.projCache = nil, nil, nil
 }
 
 // FidelityTo implements sim.Snapshotter via the DD inner product.

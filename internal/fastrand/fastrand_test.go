@@ -1,0 +1,80 @@
+package fastrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchesStdlibSource: the raw stream must equal the stdlib
+// source's for a spread of seeds, including the special cases the
+// seeding procedure branches on (zero, negatives, modulus wrap).
+func TestMatchesStdlibSource(t *testing.T) {
+	seeds := []int64{0, 1, -1, 7, 42, 89482311, int32max, int32max + 1,
+		-int32max, 1 << 40, -(1 << 40), 1<<63 - 1, -(1 << 62)}
+	for _, seed := range seeds {
+		want := rand.NewSource(seed).(rand.Source64)
+		got := New(seed)
+		for i := 0; i < 2000; i++ {
+			w, g := want.Uint64(), got.Uint64()
+			if w != g {
+				t.Fatalf("seed %d draw %d: Uint64 = %#x, stdlib %#x", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestMatchesStdlibRand: wrapped in rand.New, the derived draws the
+// engine actually uses (Float64, Intn, Int63, NormFloat64) must match.
+func TestMatchesStdlibRand(t *testing.T) {
+	for _, seed := range []int64{1, 9, 1234567, -3} {
+		want := rand.New(rand.NewSource(seed))
+		got := rand.New(New(seed))
+		for i := 0; i < 500; i++ {
+			if w, g := want.Float64(), got.Float64(); w != g {
+				t.Fatalf("seed %d draw %d: Float64 = %v, stdlib %v", seed, i, g, w)
+			}
+			if w, g := want.Intn(97), got.Intn(97); w != g {
+				t.Fatalf("seed %d draw %d: Intn = %d, stdlib %d", seed, i, g, w)
+			}
+			if w, g := want.Int63(), got.Int63(); w != g {
+				t.Fatalf("seed %d draw %d: Int63 = %d, stdlib %d", seed, i, g, w)
+			}
+			if w, g := want.NormFloat64(), got.NormFloat64(); w != g {
+				t.Fatalf("seed %d draw %d: NormFloat64 = %v, stdlib %v", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestReseedEqualsFresh: Seed on a drained source must restore the
+// exact fresh-source state — the engine reuses one Source per worker
+// and reseeds it for every trajectory.
+func TestReseedEqualsFresh(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		s.Uint64()
+	}
+	for _, seed := range []int64{5, -80, 0, 1 << 35} {
+		s.Seed(seed)
+		fresh := rand.NewSource(seed).(rand.Source64)
+		for i := 0; i < 1500; i++ {
+			if w, g := fresh.Uint64(), s.Uint64(); w != g {
+				t.Fatalf("reseed %d draw %d: %#x, fresh stdlib %#x", seed, i, g, w)
+			}
+		}
+	}
+}
+
+func BenchmarkSeedStdlib(b *testing.B) {
+	src := rand.NewSource(1)
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+	}
+}
+
+func BenchmarkSeedFast(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,6 +35,13 @@ type Cell struct {
 	Status  CellStatus
 	Elapsed time.Duration
 	Err     string
+	// AllocsPerOp/BytesPerOp are runtime.MemStats deltas across the
+	// cell (Mallocs, TotalAlloc) divided by the trajectory count — the
+	// allocation-footprint signal the bench ratchet gates on, which is
+	// far more stable than wall time on noisy runners. Zero on cells
+	// that did not complete.
+	AllocsPerOp int64
+	BytesPerOp  int64
 }
 
 // String renders the cell the way Table I does.
@@ -159,6 +167,8 @@ func (r *Runner) measure(b Benchmark, col engineCol) Cell {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	var res *stochastic.Result
 	var err error
 	if col.exact != "" {
@@ -193,7 +203,18 @@ func (r *Runner) measure(b Benchmark, col engineCol) Cell {
 	if res.TimedOut {
 		return Cell{Status: CellTimeout, Elapsed: res.Elapsed}
 	}
-	return Cell{Status: CellOK, Elapsed: res.Elapsed}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	ops := int64(res.Runs)
+	if ops <= 0 {
+		ops = 1 // exact mode: one deterministic pass per cell
+	}
+	return Cell{
+		Status:      CellOK,
+		Elapsed:     res.Elapsed,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / ops,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / ops,
+	}
 }
 
 // RunScalable reproduces a Table Ia/Ib-style sweep: one circuit

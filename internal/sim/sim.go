@@ -118,6 +118,17 @@ type TableStatser interface {
 	TableStats() TableStats
 }
 
+// Releaser is an optional backend capability: retiring the instance
+// and returning pooled kernel memory (decision-diagram node slabs,
+// compute caches, weight-table slabs) for reuse by future instances.
+// The stochastic driver calls it when a worker permanently retires a
+// compiled backend; the backend — and every snapshot or state handle
+// obtained from it — must not be used afterwards.
+type Releaser interface {
+	// Release retires the backend instance. Idempotent.
+	Release()
+}
+
 // Snapshotter is an optional backend capability: capturing the current
 // state and later computing the fidelity |⟨snapshot|ψ⟩|² against it.
 // The stochastic driver uses it to estimate the paper's flagship

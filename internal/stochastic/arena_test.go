@@ -1,0 +1,54 @@
+package stochastic
+
+import (
+	"runtime"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/ddback"
+	"ddsim/internal/noise"
+	"ddsim/internal/sim"
+	"ddsim/internal/statevec"
+)
+
+// TestArenaOnOffBitIdentical is the correctness harness of the DD
+// kernel memory plane: with DDSIM_DD_ARENA=off nodes and weights come
+// from the Go heap and recycling is disabled (the pre-arena
+// behaviour), and same-seed results must be bit-identical to the
+// arena-backed default — across backends and worker counts, on the
+// full engine pipeline (noise, measurements, tracked states, fidelity,
+// checkpoint forking). The env is read at package construction, so
+// flipping it between runs flips the allocation discipline of every
+// backend the next Run compiles.
+func TestArenaOnOffBitIdentical(t *testing.T) {
+	c := circuit.GHZ(4).MeasureAll()
+	m := noise.Model{Depolarizing: 0.01, Damping: 0.02, PhaseFlip: 0.01}
+	backends := []struct {
+		name    string
+		factory sim.Factory
+	}{
+		{"dd", ddback.Factory()},
+		{"statevec", statevec.Factory()},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	for _, b := range backends {
+		for _, w := range workerCounts {
+			opts := Options{
+				Runs: 400, Seed: 7, Shots: 2, ChunkSize: 16, Workers: w,
+				TrackStates: []uint64{0, 7, 15}, TrackFidelity: true,
+			}
+			t.Setenv("DDSIM_DD_ARENA", "")
+			on, err := Run(c, b.factory, m, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d arena on: %v", b.name, w, err)
+			}
+			t.Setenv("DDSIM_DD_ARENA", "off")
+			off, err := Run(c, b.factory, m, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d arena off: %v", b.name, w, err)
+			}
+			assertResultsIdentical(t, b.name+"/arena-on-vs-off", on, off)
+		}
+	}
+}

@@ -159,6 +159,7 @@ type ckptRunner struct {
 	circ    *circuit.Circuit
 	model   noise.Model
 	plan    ckptPlan
+	qubits  [][]int // precomputed per-op qubit lists (jobState.opQubits)
 
 	base sim.State           // the shared deterministic-prefix checkpoint
 	segs map[segKey]segState // multi-level cache; nil when disabled
@@ -172,13 +173,14 @@ type ckptRunner struct {
 // multi-level cache when the plan has later random sites. It returns
 // the runner and the number of gate applications the construction
 // executed (the engine feeds that into the gate telemetry).
-func newCkptRunner(backend sim.Backend, forker sim.Forker, c *circuit.Circuit, model noise.Model, plan ckptPlan) (*ckptRunner, int) {
+func newCkptRunner(backend sim.Backend, forker sim.Forker, c *circuit.Circuit, model noise.Model, plan ckptPlan, qubits [][]int) (*ckptRunner, int) {
 	r := &ckptRunner{
 		backend: backend,
 		forker:  forker,
 		circ:    c,
 		model:   model,
 		plan:    plan,
+		qubits:  qubits,
 	}
 	r.sizer, _ = backend.(sim.StateSizer)
 	backend.Reset()
@@ -227,10 +229,16 @@ func (r *ckptRunner) run(rng *rand.Rand, clbits []uint64, st *ckptStats) {
 	st.forks++
 	st.skipped += r.plan.prefixGates
 	if d := r.plan.deferred; d >= 0 {
-		r.model.ApplyAfterGate(r.backend, r.circ.Ops[d].Qubits(), rng)
+		var q []int
+		if r.qubits != nil {
+			q = r.qubits[d]
+		} else {
+			q = r.circ.Ops[d].Qubits()
+		}
+		r.model.ApplyAfterGate(r.backend, q, rng)
 	}
 	if r.segs == nil {
-		st.applied += runRange(r.backend, r.circ, r.model, rng, clbits, r.plan.split, len(r.circ.Ops))
+		st.applied += runRange(r.backend, r.circ, r.model, rng, clbits, r.qubits, r.plan.split, len(r.circ.Ops))
 		return
 	}
 	r.runSegmented(rng, clbits, st)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ddsim/internal/circuit"
+	"ddsim/internal/fastrand"
 	"ddsim/internal/noise"
 	"ddsim/internal/obs"
 	"ddsim/internal/sim"
@@ -170,6 +171,12 @@ type jobState struct {
 	// independent of scheduling.
 	chunks []*accumulator
 
+	// opQubits caches Circuit.Ops[i].Qubits() for noisy jobs: the noise
+	// model consults the touched qubits after every gate of every
+	// trajectory, and recomputing the list allocates on the innermost
+	// loop. Read-only once built, so workers share it safely.
+	opQubits [][]int
+
 	// Guarded by engine.mu:
 	next         int       // next run index to dispatch
 	done         int       // completed runs
@@ -231,6 +238,12 @@ func prepareJob(job Job) (*jobState, error) {
 	numChunks := (js.target + job.Opts.ChunkSize - 1) / job.Opts.ChunkSize
 	js.chunks = make([]*accumulator, numChunks)
 	js.progTracked = make([]float64, len(job.Opts.TrackStates))
+	if job.Model.Enabled() {
+		js.opQubits = make([][]int, len(job.Circuit.Ops))
+		for i := range job.Circuit.Ops {
+			js.opQubits[i] = job.Circuit.Ops[i].Qubits()
+		}
+	}
 	return js, nil
 }
 
@@ -256,6 +269,14 @@ type compiled struct {
 	snapper sim.Snapshotter
 	ref     sim.Snapshot
 	clbits  []uint64
+	// rngSrc/rng are the worker's reusable trajectory RNG: run j
+	// reseeds the source with Seed+j, which reproduces the stream of a
+	// fresh rand.New(rand.NewSource(Seed+j)) bit for bit without
+	// re-allocating the 607-word generator state per trajectory. The
+	// fastrand source makes the per-trajectory reseed — one full
+	// generator reinitialisation, by contract — cheap.
+	rngSrc *fastrand.Source
+	rng    *rand.Rand
 	// ckpt, when set, forks trajectories from a deterministic-prefix
 	// checkpoint instead of replaying the whole circuit (see
 	// Options.Checkpointing); nil means plain replay.
@@ -263,6 +284,15 @@ type compiled struct {
 	// lastStats is the table-stat snapshot at the last telemetry
 	// report; reportTableStats pushes the delta since then.
 	lastStats sim.TableStats
+}
+
+// release retires a worker's backend for good: backends implementing
+// sim.Releaser return their pooled kernel memory (DD node slabs,
+// compute caches, weight slabs) for reuse by the next compile.
+func (wb *compiled) release() {
+	if r, ok := wb.backend.(sim.Releaser); ok {
+		r.Release()
+	}
 }
 
 // reportTableStats pushes the growth of a backend's decision-diagram
@@ -288,6 +318,14 @@ func (wb *compiled) reportTableStats() {
 func (e *engine) worker() {
 	cache := make(map[*jobState]*compiled)
 	var last *jobState
+	defer func() {
+		// Hand pooled kernel memory (node slabs, compute caches) back
+		// for the next batch; sim.Releaser is a no-op for backends
+		// without arenas.
+		for _, wb := range cache {
+			wb.release()
+		}
+	}()
 	for {
 		js, first, count := e.nextChunk()
 		if js == nil {
@@ -298,6 +336,9 @@ func (e *engine) worker() {
 			// will never draw the earlier job again: release its
 			// backend and checkpoints (pinned DD nodes, amplitude
 			// copies) instead of retaining them for the whole batch.
+			if wb := cache[last]; wb != nil {
+				wb.release()
+			}
 			delete(cache, last)
 		}
 		last = js
@@ -364,6 +405,8 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 	}
 	e.mu.Unlock()
 	wb := &compiled{backend: backend, clbits: make([]uint64, 1)}
+	wb.rngSrc = fastrand.New(0)
+	wb.rng = rand.New(wb.rngSrc)
 	if js.job.Opts.TrackFidelity {
 		s, ok := backend.(sim.Snapshotter)
 		if !ok {
@@ -371,7 +414,7 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 		}
 		// Reference trajectory: same circuit, no noise, fixed seed so
 		// every worker derives the identical state.
-		refGates := runOne(backend, js.job.Circuit, noise.Model{}, rand.New(rand.NewSource(js.job.Opts.Seed)), wb.clbits)
+		refGates := runOne(backend, js.job.Circuit, noise.Model{}, rand.New(rand.NewSource(js.job.Opts.Seed)), wb.clbits, nil)
 		telemetry.GateApplications.Add(int64(refGates))
 		wb.ref = s.Snapshot()
 		wb.snapper = s
@@ -385,7 +428,7 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 		case ok:
 			plan := analyzeCheckpoint(js.job.Circuit, js.job.Model)
 			if mode == CheckpointOn || plan.worthwhile() {
-				ckpt, prefixGates := newCkptRunner(backend, forker, js.job.Circuit, js.job.Model, plan)
+				ckpt, prefixGates := newCkptRunner(backend, forker, js.job.Circuit, js.job.Model, plan, js.opQubits)
 				telemetry.GateApplications.Add(int64(prefixGates))
 				wb.ckpt = ckpt
 				e.mu.Lock()
@@ -423,11 +466,12 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 			deadlineHit = true
 			break
 		}
-		rng := rand.New(rand.NewSource(opts.Seed + int64(first+k)))
+		wb.rngSrc.Seed(opts.Seed + int64(first+k))
+		rng := wb.rng
 		if wb.ckpt != nil {
 			wb.ckpt.run(rng, wb.clbits, &st)
 		} else {
-			st.applied += runOne(wb.backend, js.job.Circuit, js.job.Model, rng, wb.clbits)
+			st.applied += runOne(wb.backend, js.job.Circuit, js.job.Model, rng, wb.clbits, js.opQubits)
 		}
 		acc.runs++
 		for s := 0; s < opts.Shots; s++ {
@@ -529,9 +573,11 @@ func (e *engine) finish(js *jobState) (*Result, error) {
 		return nil, js.err
 	}
 	total := newAccumulator(len(js.job.Opts.TrackStates))
-	for _, acc := range js.chunks {
+	for i, acc := range js.chunks {
 		if acc != nil {
 			total.merge(acc)
+			acc.release()
+			js.chunks[i] = nil
 		}
 	}
 	interrupted := e.ctx.Err() != nil && js.done < js.target && !js.timedOut

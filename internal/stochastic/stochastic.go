@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"ddsim/internal/circuit"
@@ -374,12 +375,36 @@ type accumulator struct {
 	runs      int
 }
 
+// accPool recycles chunk accumulators across runChunk calls: a long
+// job churns through target/ChunkSize of them, and the histogram maps
+// keep their capacity across reuse. Accumulators whose maps escape
+// into a Result (the finish totals) are simply never released.
+var accPool = sync.Pool{New: func() interface{} { return new(accumulator) }}
+
 func newAccumulator(tracked int) *accumulator {
-	return &accumulator{
-		counts:    make(map[uint64]int),
-		classical: make(map[uint64]int),
-		tracked:   make([]float64, tracked),
+	a := accPool.Get().(*accumulator)
+	if a.counts == nil {
+		a.counts = make(map[uint64]int)
+		a.classical = make(map[uint64]int)
 	}
+	if cap(a.tracked) < tracked {
+		a.tracked = make([]float64, tracked)
+	} else {
+		a.tracked = a.tracked[:tracked]
+		clear(a.tracked)
+	}
+	return a
+}
+
+// release clears the accumulator (maps keep their capacity) and
+// returns it to the pool. The caller must drop every reference.
+func (a *accumulator) release() {
+	clear(a.counts)
+	clear(a.classical)
+	a.tracked = a.tracked[:0]
+	a.fidelity = 0
+	a.runs = 0
+	accPool.Put(a)
 }
 
 func (a *accumulator) merge(b *accumulator) {
@@ -407,17 +432,19 @@ func circuitMeasures(c *circuit.Circuit) bool {
 
 // runOne executes a single noisy trajectory from the all-zero state
 // and returns the number of gate applications it executed. clbits is
-// a 1-element scratch slice holding the packed classical register.
-func runOne(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64) int {
+// a 1-element scratch slice holding the packed classical register;
+// qubits, when non-nil, is the precomputed per-op qubit list (see
+// jobState.opQubits) — nil makes each noisy gate recompute its own.
+func runOne(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64, qubits [][]int) int {
 	b.Reset()
 	clbits[0] = 0
-	return runRange(b, c, model, rng, clbits, 0, len(c.Ops))
+	return runRange(b, c, model, rng, clbits, qubits, 0, len(c.Ops))
 }
 
 // runRange executes ops [from, to) of a trajectory on the backend's
 // current state and returns the number of gate applications. The
 // checkpoint runner uses it to resume forked trajectories mid-circuit.
-func runRange(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64, from, to int) int {
+func runRange(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Rand, clbits []uint64, qubits [][]int, from, to int) int {
 	noisy := model.Enabled()
 	gates := 0
 	for i := from; i < to; i++ {
@@ -430,7 +457,13 @@ func runRange(b sim.Backend, c *circuit.Circuit, model noise.Model, rng *rand.Ra
 			b.ApplyOp(i)
 			gates++
 			if noisy {
-				model.ApplyAfterGate(b, op.Qubits(), rng)
+				var q []int
+				if qubits != nil {
+					q = qubits[i]
+				} else {
+					q = op.Qubits()
+				}
+				model.ApplyAfterGate(b, q, rng)
 			}
 		case circuit.KindMeasure, circuit.KindReset:
 			execSiteOp(b, op, rng, clbits)
@@ -502,7 +535,7 @@ func Deterministic(c *circuit.Circuit, factory sim.Factory, seed int64) (sim.Bac
 	}
 	rng := rand.New(rand.NewSource(seed))
 	clbits := make([]uint64, 1)
-	runOne(b, c, noise.Model{}, rng, clbits)
+	runOne(b, c, noise.Model{}, rng, clbits, nil)
 	return b, nil
 }
 

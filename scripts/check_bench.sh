@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# check_bench.sh — paper-benchmark performance ratchet, run by CI
+# (bench job) and locally via `bash scripts/check_bench.sh` from the
+# repo root.
+#
+# Compares a benchtab -json report against the checked-in baseline
+# (BENCH_baseline.json) with cmd/benchcmp and fails when the shared ok
+# cells regress more than BENCH_TIME_SLACK in summed wall time or
+# BENCH_ALLOC_SLACK in summed allocs/op — the ratchet: the paper
+# benchmarks may only stay or get faster. The allocation gate is the
+# robust one on noisy runners (allocation counts do not move when the
+# machine is merely busy); the wall-time gate catches algorithmic
+# regressions that allocate nothing.
+#
+# Usage:
+#   bash scripts/check_bench.sh                  # generate + compare
+#   bash scripts/check_bench.sh BENCH_pr.json    # compare existing report
+#   bash scripts/check_bench.sh --update         # refresh the baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file=BENCH_baseline.json
+# The CI bench configuration: short enough for a PR gate, long enough
+# that every backend completes its paper-set cells.
+BENCH_ARGS=(-table all -runs 10 -budget 5s
+  -sizes-1a 8,16,24,32,48,64 -sizes-1b 8,12,16,20,24 -quiet)
+
+if [ "${1:-}" = "--update" ]; then
+  go run ./cmd/benchtab "${BENCH_ARGS[@]}" -json "$baseline_file" > /dev/null
+  echo "bench baseline written to $baseline_file"
+  exit 0
+fi
+
+if [ ! -f "$baseline_file" ]; then
+  echo "bench check BROKEN: no $baseline_file — generate one with scripts/check_bench.sh --update" >&2
+  exit 1
+fi
+
+current="${1:-BENCH_pr.json}"
+if [ ! -f "$current" ]; then
+  go run ./cmd/benchtab "${BENCH_ARGS[@]}" -json "$current" > /dev/null
+fi
+
+go run ./cmd/benchcmp -baseline "$baseline_file" -current "$current" \
+  -time-slack "${BENCH_TIME_SLACK:-0.10}" -alloc-slack "${BENCH_ALLOC_SLACK:-0.10}"
