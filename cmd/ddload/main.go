@@ -1,0 +1,98 @@
+// Command ddload is the load generator for ddsimd: it drives the
+// HTTP API with an open-loop stream of unique job submissions (each
+// with its own seed, so the result cache cannot collapse the load),
+// watches every accepted job to a terminal state via polling or the
+// SSE event stream, optionally cancels a fraction mid-flight, and
+// reports throughput, error rates and client-observed latency
+// percentiles.
+//
+// The accounting is a conservation proof, not just a rate meter:
+// every accepted job id must be observed in a terminal state exactly
+// once. Jobs that vanish count as lost, ids handed out twice count as
+// duplicate, and both are expected to be zero against a healthy
+// server (CI runs a smoke-sized version of exactly this check; see
+// docs/OPERATIONS.md for the full-size recipe).
+//
+//	ddload -url http://127.0.0.1:8344 -n 50000 -c 256 \
+//	       -sse 0.1 -cancel 0.02 -priority 10
+//
+// Rejections (429) are counted separately from errors: shedding load
+// is the server's admission control working as designed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8344", "ddsimd base URL")
+		total    = flag.Int("n", 1000, "total submissions to issue")
+		conc     = flag.Int("c", 64, "concurrent submitters")
+		watchers = flag.Int("watchers", 0, "concurrent watchers (0 = same as -c)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate, submissions/s (0 = closed loop)")
+		duration = flag.Duration("duration", 0, "hard deadline for the whole run (0 = none)")
+		sse      = flag.Float64("sse", 0.05, "fraction of jobs watched via the SSE event stream")
+		cancel   = flag.Float64("cancel", 0, "fraction of jobs cancelled after submission")
+		subFirst = flag.Bool("submit-first", false, "issue every submission before watching any job to terminal (proves peak concurrency)")
+		circuit  = flag.String("circuit", "ghz", "built-in circuit family")
+		qubits   = flag.Int("qubits", 4, "qubit count")
+		runs     = flag.Int("runs", 1, "trajectories per job")
+		backend  = flag.String("backend", "dd", "simulation backend")
+		priority = flag.Int("priority", 0, "cycle priorities through ±N (0 = all default)")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		failOver = flag.Float64("max-error-rate", -1, "exit 1 when the error rate exceeds this fraction (-1 disables)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := config{
+		BaseURL:        *url,
+		Total:          *total,
+		Concurrency:    *conc,
+		Watchers:       *watchers,
+		Rate:           *rate,
+		Duration:       *duration,
+		SSEFraction:    *sse,
+		CancelFraction: *cancel,
+		SubmitFirst:    *subFirst,
+		Circuit:        *circuit,
+		Qubits:         *qubits,
+		Runs:           *runs,
+		Backend:        *backend,
+		Priority:       *priority,
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *conc + *watchers + 16,
+		MaxIdleConnsPerHost: *conc + *watchers + 16,
+	}}
+	l := newLoader(cfg, client)
+	rep := l.run(ctx)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Print(rep.text())
+	}
+	if rep.Lost > 0 || rep.Duplicate > 0 {
+		fmt.Fprintf(os.Stderr, "ddload: CONSERVATION VIOLATED: %d lost, %d duplicate\n",
+			rep.Lost, rep.Duplicate)
+		os.Exit(1)
+	}
+	if *failOver >= 0 && rep.errorRate() > *failOver {
+		fmt.Fprintf(os.Stderr, "ddload: error rate %.4f exceeds limit %.4f\n",
+			rep.errorRate(), *failOver)
+		os.Exit(1)
+	}
+}

@@ -1,50 +1,76 @@
 package main
 
 import (
-	"container/heap"
-	"context"
 	"math"
 	"net"
 	"net/http"
 	"sync"
 	"time"
+
+	"ddsim/internal/telemetry"
 )
 
 // rateLimiter is per-client token-bucket admission control for job
-// submissions: each client (keyed by remote address) gets a bucket
-// refilled at rate tokens/second up to burst; a submission spends one
-// token or is rejected with the time until the next token.
+// submissions: each client (keyed by remote address) has a bucket of
+// up to burst tokens; a submission spends one token or is rejected
+// with the time until the next one.
+//
+// Refills ride the service timing wheel instead of being computed on
+// every request: a wheel task calls refill every refillEvery, topping
+// up every bucket by rate×refillEvery in one O(buckets) pass. That
+// keeps the request path to one map lookup and one subtraction, makes
+// the Retry-After hint an exact statement about the refill schedule
+// ("tokens arrive at the next tick, and every refillEvery after"),
+// and gives idle buckets a natural reclamation point — the same pass
+// evicts entries that have been full and untouched for idleAfter, so
+// a client-ID scan cannot grow the map without bound (satellite of
+// the dispatch-plane issue; maxBuckets backstops rotation faster than
+// the sweep cadence).
 type rateLimiter struct {
-	rate  float64 // tokens per second
-	burst float64 // bucket capacity
+	rate        float64       // tokens per second
+	burst       float64       // bucket capacity
+	refillEvery time.Duration // wheel refill cadence
+	idleAfter   time.Duration // evict buckets full and untouched this long
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	mu         sync.Mutex
+	buckets    map[string]*bucket
+	nextRefill time.Time // when the wheel will next top up (zero until first refill)
 }
 
-// bucket is one client's token balance at its last refill time.
+// bucket is one client's token balance.
 type bucket struct {
-	tokens float64
-	last   time.Time
+	tokens   float64
+	lastUsed time.Time
 }
 
-// maxBuckets bounds the per-client table; beyond it, full (idle)
-// buckets are pruned opportunistically so hostile clients cannot grow
-// the map without bound.
-const maxBuckets = 4096
+// Limiter tuning. refillEvery is also the granularity of Retry-After
+// honesty: a client told to wait is never more than one cadence away
+// from the promised token.
+const (
+	maxBuckets         = 4096
+	defaultRefillEvery = 250 * time.Millisecond
+	defaultIdleAfter   = 5 * time.Minute
+)
 
 // newRateLimiter creates a limiter admitting rate submissions per
-// second per client with the given burst capacity (minimum 1).
+// second per client with the given burst capacity (minimum 1). The
+// server schedules refill on its timing wheel every refillEvery.
 func newRateLimiter(rate float64, burst int) *rateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+	return &rateLimiter{
+		rate:        rate,
+		burst:       float64(burst),
+		refillEvery: defaultRefillEvery,
+		idleAfter:   defaultIdleAfter,
+		buckets:     make(map[string]*bucket),
+	}
 }
 
 // allow spends one token from key's bucket. When the bucket is empty
-// it returns false and the duration after which a token will be
-// available.
+// it returns false and how long until the refill schedule will have
+// delivered a full token.
 func (rl *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
@@ -53,32 +79,69 @@ func (rl *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
 		if len(rl.buckets) >= maxBuckets {
 			rl.pruneLocked(now)
 		}
-		b = &bucket{tokens: rl.burst, last: now}
+		b = &bucket{tokens: rl.burst}
 		rl.buckets[key] = b
 	}
-	b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
-	b.last = now
+	b.lastUsed = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
 	}
-	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
-	return false, wait
+	return false, rl.waitLocked(b, now)
 }
 
-// pruneLocked bounds the bucket table at maxBuckets. First pass:
-// drop buckets that have refilled to capacity (idle clients lose
-// nothing by being forgotten). If hostile address rotation keeps the
+// waitLocked computes the time until b will hold ≥1 token under the
+// wheel refill schedule: the next refill tick, plus however many full
+// cadences beyond it the deficit needs. Before the first wheel tick
+// (or without a wheel, in tests) it falls back to the continuous-rate
+// estimate. Caller holds rl.mu.
+func (rl *rateLimiter) waitLocked(b *bucket, now time.Time) time.Duration {
+	need := 1 - b.tokens
+	if rl.nextRefill.IsZero() || rl.rate <= 0 {
+		return time.Duration(need / rl.rate * float64(time.Second))
+	}
+	perTick := rl.rate * rl.refillEvery.Seconds()
+	ticks := math.Ceil(need / perTick)
+	wait := rl.nextRefill.Sub(now) + time.Duration(ticks-1)*rl.refillEvery
+	if wait < 0 {
+		wait = 0
+	}
+	return wait
+}
+
+// refill tops up every bucket by one cadence of tokens and evicts
+// buckets that are full and idle — the wheel calls this every
+// refillEvery. One O(buckets) pass per cadence replaces per-request
+// clock math and per-entry cleanup timers.
+func (rl *rateLimiter) refill(now time.Time) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	add := rl.rate * rl.refillEvery.Seconds()
+	evicted := int64(0)
+	for k, b := range rl.buckets {
+		b.tokens = math.Min(rl.burst, b.tokens+add)
+		if b.tokens >= rl.burst && now.Sub(b.lastUsed) > rl.idleAfter {
+			delete(rl.buckets, k)
+			evicted++
+		}
+	}
+	rl.nextRefill = now.Add(rl.refillEvery)
+	if evicted > 0 {
+		telemetry.RateBucketsEvicted.Add(evicted)
+	}
+	telemetry.RateBuckets.Set(int64(len(rl.buckets)))
+}
+
+// pruneLocked bounds the bucket table at maxBuckets between refill
+// sweeps. First pass: drop full (idle) buckets — those clients lose
+// nothing by being forgotten. If hostile address rotation keeps the
 // table full of part-empty buckets anyway, evict the least-recently-
 // used entry so the insert that triggered the prune cannot grow the
-// map — the evicted client merely gets a fresh full bucket on its
-// next request, which is graceful degradation, not a bypass of the
-// memory bound. Both passes are O(maxBuckets) worst case, a bounded
-// scan that only runs when the table is at capacity. Caller holds
-// rl.mu.
+// map; the evicted client merely gets a fresh full bucket on its next
+// request. Caller holds rl.mu.
 func (rl *rateLimiter) pruneLocked(now time.Time) {
 	for k, b := range rl.buckets {
-		if math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds()) >= rl.burst {
+		if b.tokens >= rl.burst {
 			delete(rl.buckets, k)
 		}
 	}
@@ -88,11 +151,18 @@ func (rl *rateLimiter) pruneLocked(now time.Time) {
 	var lruKey string
 	var lruTime time.Time
 	for k, b := range rl.buckets {
-		if lruKey == "" || b.last.Before(lruTime) {
-			lruKey, lruTime = k, b.last
+		if lruKey == "" || b.lastUsed.Before(lruTime) {
+			lruKey, lruTime = k, b.lastUsed
 		}
 	}
 	delete(rl.buckets, lruKey)
+}
+
+// size reports the tracked-bucket count (tests and health).
+func (rl *rateLimiter) size() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.buckets)
 }
 
 // clientKey identifies the submitting client for rate limiting: the
@@ -104,119 +174,4 @@ func clientKey(r *http.Request) string {
 		return r.RemoteAddr
 	}
 	return host
-}
-
-// dispatcher grants a bounded number of concurrent simulation slots
-// in priority order: waiting jobs form a max-heap on (priority,
-// -submission sequence), so a freed slot always goes to the highest-
-// priority oldest waiter. It replaces a plain buffered-channel
-// semaphore, whose FIFO-ish wakeup cannot express priorities.
-type dispatcher struct {
-	mu      sync.Mutex
-	free    int
-	waiting waitHeap
-}
-
-// waiter is one job waiting for a slot; ready is closed when the slot
-// is granted.
-type waiter struct {
-	priority int
-	seq      int64
-	index    int // heap index, maintained by waitHeap
-	ready    chan struct{}
-}
-
-// newDispatcher creates a dispatcher with the given slot count
-// (minimum 1).
-func newDispatcher(slots int) *dispatcher {
-	if slots < 1 {
-		slots = 1
-	}
-	return &dispatcher{free: slots}
-}
-
-// acquire blocks until a slot is granted or ctx is cancelled. On
-// success the caller owns one slot and must release it; on
-// cancellation the slot (if one was granted concurrently) is handed
-// back.
-func (d *dispatcher) acquire(ctx context.Context, priority int, seq int64) error {
-	d.mu.Lock()
-	if d.free > 0 && d.waiting.Len() == 0 {
-		d.free--
-		d.mu.Unlock()
-		return nil
-	}
-	w := &waiter{priority: priority, seq: seq, ready: make(chan struct{})}
-	heap.Push(&d.waiting, w)
-	d.mu.Unlock()
-
-	select {
-	case <-w.ready:
-		return nil
-	case <-ctx.Done():
-		d.mu.Lock()
-		select {
-		case <-w.ready:
-			// The grant raced the cancellation: hand the slot back so
-			// it reaches the next waiter.
-			d.free++
-			d.grantLocked()
-		default:
-			heap.Remove(&d.waiting, w.index)
-		}
-		d.mu.Unlock()
-		return ctx.Err()
-	}
-}
-
-// release returns a slot and wakes the best waiter, if any.
-func (d *dispatcher) release() {
-	d.mu.Lock()
-	d.free++
-	d.grantLocked()
-	d.mu.Unlock()
-}
-
-// grantLocked hands free slots to the highest-priority waiters.
-// Caller holds d.mu.
-func (d *dispatcher) grantLocked() {
-	for d.free > 0 && d.waiting.Len() > 0 {
-		w := heap.Pop(&d.waiting).(*waiter)
-		d.free--
-		close(w.ready)
-	}
-}
-
-// waitHeap orders waiters by descending priority, then ascending
-// submission sequence (older first). It implements heap.Interface.
-type waitHeap []*waiter
-
-func (h waitHeap) Len() int { return len(h) }
-
-func (h waitHeap) Less(i, j int) bool {
-	if h[i].priority != h[j].priority {
-		return h[i].priority > h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h waitHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *waitHeap) Push(x any) {
-	w := x.(*waiter)
-	w.index = len(*h)
-	*h = append(*h, w)
-}
-
-func (h *waitHeap) Pop() any {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return w
 }

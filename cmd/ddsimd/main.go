@@ -99,6 +99,9 @@ func main() {
 		cacheMB    = flag.Int("cache-mb", 256, "result-cache payload bound in MiB")
 		rateLimit  = flag.Float64("rate-limit", 0, "per-client submissions per second (0 = unlimited)")
 		rateBurst  = flag.Int("rate-burst", 10, "per-client submission burst capacity")
+		keepalive  = flag.Duration("sse-keepalive", defaultSSEKeepalive, "keepalive-comment cadence on idle event streams (0 disables)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "result-cache entry lifetime; swept on the timing wheel (0 = entries never age out)")
+		compactEvr = flag.Duration("compact-every", 10*time.Minute, "jobstore WAL compaction cadence (0 disables; needs -data-dir)")
 	)
 	flag.Parse()
 
@@ -108,7 +111,10 @@ func main() {
 	s := newServer(ctx, *maxActive, *workers, *maxRuns)
 	s.maxJobs = *maxJobs
 	s.maxPending = *maxPending
+	s.sseKeepalive = *keepalive
+	s.compactEvery = *compactEvr
 	s.cache = rescache.New(*cacheSize, int64(*cacheMB)<<20)
+	s.cache.SetTTL(*cacheTTL)
 	if *rateLimit > 0 {
 		s.limiter = newRateLimiter(*rateLimit, *rateBurst)
 	}
@@ -123,6 +129,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ddsimd: store %s: restored %d finished jobs, re-queued %d in-flight jobs\n",
 			*dataDir, served, requeued)
 	}
+	s.startMaintenance()
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.handler(),
@@ -145,6 +152,7 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(shutCtx)
 		s.wait()
+		s.close()
 		if s.store != nil {
 			_ = s.store.Close()
 		}

@@ -13,11 +13,13 @@ import (
 
 	"ddsim"
 	"ddsim/internal/dd"
+	"ddsim/internal/dispatch"
 	"ddsim/internal/exact"
 	"ddsim/internal/jobstore"
 	"ddsim/internal/qbench"
 	"ddsim/internal/rescache"
 	"ddsim/internal/telemetry"
+	"ddsim/internal/timewheel"
 )
 
 // Request resource bounds: a submission is parsed and compiled
@@ -37,6 +39,24 @@ const (
 	// queueFullRetryAfter is the Retry-After hint (seconds) sent with
 	// 429 responses when the unfinished-job queue is at capacity.
 	queueFullRetryAfter = 5
+)
+
+// Dispatch-plane sizing and maintenance cadences.
+const (
+	// dispatchRingCap sizes the submit ring. The consumer drains the
+	// ring into its heap continuously, so the ring only needs to absorb
+	// the burst between two consumer wakeups — 1024 slots is far beyond
+	// any maxPending the admission layer allows through.
+	dispatchRingCap = 1024
+	// defaultSSEKeepalive is the cadence of ": keepalive" comments on
+	// idle event streams (wheel-scheduled; one timer per connection,
+	// O(1) tick cost in the number of connections).
+	defaultSSEKeepalive = 15 * time.Second
+	// gaugeRefreshEvery is how often wheel/dispatch snapshot gauges are
+	// pushed to telemetry.
+	gaugeRefreshEvery = time.Second
+	// cacheSweepEvery is the TTL sweep cadence of the result cache.
+	cacheSweepEvery = 30 * time.Second
 )
 
 // Job lifecycle states.
@@ -217,10 +237,17 @@ type server struct {
 	maxJobs    int // retained jobs; oldest finished are evicted
 	maxPending int // admission cap on queued+running jobs
 
-	disp    *dispatcher     // priority-ordered simulation slots
-	store   *jobstore.Store // durable job/result persistence; nil = ephemeral
-	cache   *rescache.Cache // content-addressed result cache; nil = disabled
-	limiter *rateLimiter    // per-client submission rate limit; nil = off
+	disp    *dispatch.Dispatcher // lock-free submit ring + priority-ordered slots
+	wheel   *timewheel.Wheel     // every periodic schedule in the process
+	store   *jobstore.Store      // durable job/result persistence; nil = ephemeral
+	cache   *rescache.Cache      // content-addressed result cache; nil = disabled
+	limiter *rateLimiter         // per-client submission rate limit; nil = off
+
+	// sseKeepalive is the idle-stream keepalive cadence (0 disables);
+	// compactEvery schedules jobstore WAL compaction (0 disables).
+	sseKeepalive time.Duration
+	compactEvery time.Duration
+	compacting   atomic.Bool // one compaction at a time
 
 	pending atomic.Int64 // jobs whose run goroutine has not finished
 
@@ -241,14 +268,65 @@ type server struct {
 // them from flags, so the defaults live in exactly one place.
 func newServer(ctx context.Context, maxActive, workers, maxRuns int) *server {
 	return &server{
-		baseCtx:    ctx,
-		workers:    workers,
-		maxRuns:    maxRuns,
-		maxJobs:    256,
-		maxPending: 128,
-		disp:       newDispatcher(maxActive),
-		jobs:       make(map[string]*job),
+		baseCtx:      ctx,
+		workers:      workers,
+		maxRuns:      maxRuns,
+		maxJobs:      256,
+		maxPending:   128,
+		disp:         dispatch.NewDispatcher(maxActive, dispatchRingCap),
+		wheel:        timewheel.New(timewheel.DefaultTick),
+		sseKeepalive: defaultSSEKeepalive,
+		jobs:         make(map[string]*job),
 	}
+}
+
+// startMaintenance schedules every periodic duty on the timing wheel:
+// rate-bucket refills (which also evict idle buckets), result-cache
+// TTL sweeps, jobstore WAL compaction, and the telemetry snapshot
+// refresh. Call once, after the optional store/cache/limiter fields
+// are set. Wheel callbacks run on the wheel goroutine and must stay
+// short; compaction fsyncs, so it is handed to its own goroutine with
+// an overlap guard.
+func (s *server) startMaintenance() {
+	if s.limiter != nil {
+		s.wheel.Every(s.limiter.refillEvery, func() { s.limiter.refill(time.Now()) })
+	}
+	if s.cache != nil {
+		s.wheel.Every(cacheSweepEvery, func() { s.cache.Sweep(time.Now()) })
+	}
+	if s.store != nil && s.compactEvery > 0 {
+		s.wheel.Every(s.compactEvery, func() {
+			if !s.compacting.CompareAndSwap(false, true) {
+				return
+			}
+			go func() {
+				defer s.compacting.Store(false)
+				if err := s.store.Compact(); err != nil {
+					fmt.Fprintf(os.Stderr, "ddsimd: compact WAL: %v\n", err)
+				}
+			}()
+		})
+	}
+	s.wheel.Every(gaugeRefreshEvery, s.refreshGauges)
+}
+
+// refreshGauges pushes dispatch-plane and wheel snapshots into the
+// telemetry gauges exposed on /metrics.
+func (s *server) refreshGauges() {
+	telemetry.DispatchWaiting.Set(s.disp.Waiting())
+	telemetry.DispatchGranted.Set(s.disp.Granted())
+	st := s.wheel.Stats()
+	telemetry.WheelTimers.Set(int64(st.Active))
+	telemetry.WheelFired.Set(int64(st.Fired))
+	telemetry.WheelCancelled.Set(int64(st.Cancelled))
+	telemetry.WheelCascades.Set(int64(st.Cascades))
+}
+
+// close stops the dispatch consumer and the timing wheel. Call after
+// wait() — every job goroutine must have released its slot first.
+func (s *server) close() {
+	s.disp.Stop()
+	s.wheel.Stop()
 }
 
 // handler returns the service's HTTP routing table.
@@ -533,7 +611,12 @@ func (s *server) run(j *job) {
 	if finished {
 		return
 	}
-	if err := s.disp.acquire(j.ctx, j.priority, j.seq); err != nil {
+	enqueued := time.Now()
+	tkt, err := s.disp.Submit(j.ctx, j.priority, j.seq)
+	if err == nil {
+		err = s.disp.Wait(j.ctx, tkt)
+	}
+	if err != nil {
 		telemetry.JobsQueued.Dec()
 		s.finalize(j, nil, nil)
 		if leader {
@@ -541,7 +624,8 @@ func (s *server) run(j *job) {
 		}
 		return
 	}
-	defer s.disp.release()
+	defer s.disp.Release()
+	telemetry.QueueWaitSeconds.Observe(time.Since(enqueued).Seconds())
 
 	telemetry.JobsQueued.Dec()
 	telemetry.JobsRunning.Inc()
@@ -559,7 +643,9 @@ func (s *server) run(j *job) {
 		opts.OnProgress = j.publish // Progress.Job = noise-point index
 		batch[i] = ddsim.BatchJob{Circuit: j.circ, Model: m, Opts: opts}
 	}
+	simStart := time.Now()
 	results, err := ddsim.BatchSimulate(j.ctx, j.backend, batch, s.workers)
+	telemetry.SimulateSeconds.Observe(time.Since(simStart).Seconds())
 	telemetry.JobsRunning.Dec()
 	s.finalize(j, results, err)
 	if leader {
@@ -630,6 +716,7 @@ func (s *server) finishFromCache(j *job, payload []byte) bool {
 	j.finished = now
 	j.results = results
 	j.cached = true
+	telemetry.E2ESeconds.Observe(now.Sub(j.submitted).Seconds())
 	j.mu.Unlock()
 	telemetry.JobsDone.With(statusDone).Inc()
 	close(j.done)
@@ -690,7 +777,10 @@ func (s *server) persistFinal(j *job) {
 	if f.Status == statusCancelled && !j.userCancel.Load() {
 		return
 	}
-	if err := s.store.PutFinal(j.id, f); err != nil {
+	start := time.Now()
+	err := s.store.PutFinal(j.id, f)
+	telemetry.PersistSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddsimd: persist final state of %s: %v\n", j.id, err)
 	}
 }
@@ -717,6 +807,7 @@ func (j *job) complete(results []*ddsim.Result, err error) {
 	if err != nil {
 		j.errMsg = err.Error()
 	}
+	telemetry.E2ESeconds.Observe(j.finished.Sub(j.submitted).Seconds())
 	telemetry.JobsDone.With(j.status).Inc()
 	j.mu.Unlock()
 	close(j.done)
@@ -847,11 +938,14 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	n := len(s.jobs)
 	s.mu.Unlock()
 	h := map[string]any{
-		"status":       "ok",
-		"jobs":         n,
-		"jobs_queued":  telemetry.JobsQueued.Value(),
-		"jobs_running": telemetry.JobsRunning.Value(),
-		"persistence":  s.store != nil,
+		"status":           "ok",
+		"jobs":             n,
+		"jobs_queued":      telemetry.JobsQueued.Value(),
+		"jobs_running":     telemetry.JobsRunning.Value(),
+		"persistence":      s.store != nil,
+		"dispatch_waiting": s.disp.Waiting(),
+		"dispatch_granted": s.disp.Granted(),
+		"wheel_timers":     s.wheel.Stats().Active,
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -897,6 +991,24 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	sub := j.subscribe()
 	defer j.unsubscribe(sub)
 
+	// Keepalive: a wheel timer per connection rings a one-slot doorbell
+	// and this goroutine writes the SSE comment, so the wheel callback
+	// never blocks on a slow consumer and the stream is only ever
+	// written from one goroutine. With N streams open the process still
+	// holds no per-connection time.Timer — all cadences live on the one
+	// wheel.
+	var keepalive chan struct{} // nil (blocks forever) when disabled
+	if s.sseKeepalive > 0 && s.wheel != nil {
+		keepalive = make(chan struct{}, 1)
+		kt := s.wheel.Every(s.sseKeepalive, func() {
+			select {
+			case keepalive <- struct{}{}:
+			default:
+			}
+		})
+		defer kt.Stop()
+	}
+
 	// Replay the latest snapshot so late subscribers still observe
 	// progress before the result.
 	j.mu.Lock()
@@ -913,6 +1025,12 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !send("progress", p) {
 				return
 			}
+		case <-keepalive:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			telemetry.SSEKeepalives.Inc()
 		case <-j.done:
 			send("result", j.view(true))
 			return

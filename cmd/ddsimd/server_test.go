@@ -29,6 +29,7 @@ func newTestServer(t *testing.T, maxActive int) (*httptest.Server, *server) {
 		ts.Close()
 		cancel()
 		s.wait()
+		s.close()
 	})
 	return ts, s
 }

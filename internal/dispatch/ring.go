@@ -1,0 +1,133 @@
+// Package dispatch is the lock-free front door of the ddsimd service:
+// a disruptor-style bounded MPSC ring buffer that carries submissions
+// from many HTTP handler goroutines to a single consumer, and a
+// priority Dispatcher built on top of it that grants a fixed number
+// of execution slots in (priority, submission-order) order.
+//
+// The ring replaces a global mutex + condition hand-off: producers
+// claim slots with one atomic compare-and-swap on a cache-line-padded
+// cursor and publish with one atomic store, so N handlers submitting
+// concurrently never serialise behind each other. The consumer side
+// is deliberately single-threaded — the priority heap it feeds needs
+// no lock at all, which is the disruptor trade: move the contended
+// hand-off into a wait-free ring and keep the interesting data
+// structure single-writer.
+//
+// Slot claiming follows Vyukov's bounded MPMC queue: every slot
+// carries a sequence number that encodes which "lap" of the ring it
+// is on, so a producer can detect a full ring and a consumer an empty
+// one without reading the other side's cursor.
+package dispatch
+
+import (
+	"sync/atomic"
+)
+
+// cacheLinePad separates the hot cursors so a producer claiming a
+// slot does not invalidate the cache line the consumer is spinning
+// on (false sharing).
+type cacheLinePad [64]byte
+
+// slot is one ring cell. seq is the Vyukov sequence: pos for an empty
+// cell awaiting lap pos/capacity, pos+1 once the value is published.
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// Ring is a bounded multi-producer single-consumer ring buffer.
+// Capacity is rounded up to a power of two. Publish is lock-free for
+// any number of concurrent producers; Poll must only be called from
+// one goroutine at a time.
+type Ring[T any] struct {
+	mask  uint64
+	slots []slot[T]
+
+	_    cacheLinePad
+	head atomic.Uint64 // next position producers will claim
+	_    cacheLinePad
+	tail atomic.Uint64 // next position the consumer will read
+	_    cacheLinePad
+
+	// wake is a one-token doorbell: producers post after publishing,
+	// the consumer drains it before sleeping. The buffered token makes
+	// the sleep race-free: a publish between the consumer's empty
+	// check and its channel receive leaves the token behind.
+	wake chan struct{}
+}
+
+// NewRing creates a ring with at least the given capacity (rounded up
+// to a power of two, minimum 2).
+func NewRing[T any](capacity int) *Ring[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	r := &Ring[T]{
+		mask:  n - 1,
+		slots: make([]slot[T], n),
+		wake:  make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// TryPublish enqueues v, reporting false when the ring is full. Safe
+// for concurrent use by any number of producers; wait-free except for
+// CAS retries under contention.
+func (r *Ring[T]) TryPublish(v T) bool {
+	pos := r.head.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			// The slot is empty on our lap: claim it by advancing head.
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish: visible to Poll
+				select {
+				case r.wake <- struct{}{}:
+				default:
+				}
+				return true
+			}
+			pos = r.head.Load() // lost the claim; retry at the new head
+		case seq < pos:
+			// The slot still holds last lap's value: the ring is full.
+			return false
+		default:
+			// Another producer claimed pos and already published;
+			// skip ahead.
+			pos = r.head.Load()
+		}
+	}
+}
+
+// Poll dequeues the next value, reporting false when the ring is
+// empty. Single consumer only.
+func (r *Ring[T]) Poll() (T, bool) {
+	var zero T
+	pos := r.tail.Load()
+	s := &r.slots[pos&r.mask]
+	if s.seq.Load() != pos+1 {
+		return zero, false // not yet published
+	}
+	v := s.val
+	s.val = zero // drop the reference for GC
+	// Release the slot for the producers' next lap.
+	s.seq.Store(pos + r.mask + 1)
+	r.tail.Store(pos + 1)
+	return v, true
+}
+
+// Wake returns the doorbell channel: it receives a token after at
+// least one Publish since the consumer last drained it. The consumer
+// pattern is: drain with Poll until empty, then block on Wake, then
+// drain again.
+func (r *Ring[T]) Wake() <-chan struct{} { return r.wake }

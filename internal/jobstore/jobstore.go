@@ -251,6 +251,45 @@ func (s *Store) Close() error {
 	return err
 }
 
+// Compact rewrites the WAL down to one entry per live job, dropping
+// the status-transition history (and delete tombstones) accumulated
+// since the last open or Compact. Open does this once at startup; a
+// long-running server calls Compact periodically (ddsimd schedules it
+// on the timing wheel) so weeks of churn cannot grow the WAL without
+// bound. Crash-safe: the compacted WAL is written atomically, and the
+// append handle is switched to the new file under the store lock.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	// Appends hold s.mu and sync before releasing it, so re-reading
+	// the WAL here sees every durable transition.
+	status, err := s.replayWAL()
+	if err != nil {
+		return err
+	}
+	if err := s.compactWAL(status); err != nil {
+		return err
+	}
+	// The old handle now points at the unlinked pre-compaction inode;
+	// switch appends to the new file.
+	old := s.wal
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Writes to the unlinked inode would not be durable: fail
+		// closed so appendWAL errors instead of lying.
+		s.wal = nil
+		old.Close()
+		return fmt.Errorf("jobstore: reopen wal after compaction: %w", err)
+	}
+	old.Close()
+	s.wal = wal
+	telemetry.WALCompactions.Inc()
+	return nil
+}
+
 func (s *Store) walPath() string          { return filepath.Join(s.dir, "wal.log") }
 func (s *Store) jobPath(id string) string { return filepath.Join(s.dir, "jobs", id+".json") }
 func (s *Store) resultPath(id string) string {

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram: log-spaced upper
+// bounds, one atomic counter per bucket, plus an exact sum and count.
+// Observe is lock-free (one atomic add after a binary search over a
+// ~40-entry bound slice), so it is safe on the service's per-request
+// hot path.
+//
+// The Prometheus exposition renders the standard cumulative
+// <name>_bucket{le="..."} series plus <name>_sum and <name>_count;
+// p50/p95/p99 are additionally exported as <name>_p50 / _p95 / _p99
+// gauges (log-interpolated within the owning bucket) so operators and
+// the load harness can read percentiles without a PromQL engine.
+type Histogram struct {
+	nm, help string
+	bounds   []float64 // ascending upper bounds; +Inf is implicit
+	counts   []atomic.Int64
+	sum      FloatCounter
+	count    atomic.Int64
+}
+
+// LogBuckets returns log-spaced bucket upper bounds from min to at
+// least max with the given number of buckets per decade. It is the
+// standard bucket layout for the service's latency histograms:
+// LogBuckets(1e-5, 100, 5) spans 10µs–100s in 36 buckets.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		panic("telemetry: invalid LogBuckets parameters")
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		// Derive every bound from the decade directly so float error
+		// does not accumulate across a long ladder.
+		b := min * math.Pow(10, float64(i)/float64(perDecade))
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// NewHistogram creates and registers a histogram with the given
+// bucket upper bounds in the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// NewHistogram creates and registers a histogram with the given
+// bucket upper bounds (ascending).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{nm: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(h)
+	return h
+}
+
+// Observe records one value (negative values clamp to the first
+// bucket, like zero).
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketFor(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// bucketFor finds the first bound ≥ v by binary search; the last
+// index is the +Inf overflow bucket.
+func (h *Histogram) bucketFor(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts, log-interpolating within the owning bucket (matching the
+// log-spaced layout; the overflow bucket reports its lower bound).
+// It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := 0, len(h.counts); i < n; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == n-1 { // overflow bucket: no upper bound to interpolate to
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			lo := hi / 10 // sensible floor for the first bucket
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo * math.Pow(hi/lo, frac)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) name() string { return h.nm }
+
+func (h *Histogram) write(w io.Writer) {
+	writeHeader(w, h.nm, h.help, "histogram")
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.Count())
+	for _, p := range [...]struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		name := h.nm + "_" + p.suffix
+		writeHeader(w, name, fmt.Sprintf("Estimated %s quantile of %s.", p.suffix, h.nm), "gauge")
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(h.Quantile(p.q)))
+	}
+}

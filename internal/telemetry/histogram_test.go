@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1e-5, 100, 5)
+	if b[0] != 1e-5 {
+		t.Fatalf("first bound %g, want 1e-5", b[0])
+	}
+	if last := b[len(b)-1]; last < 100 {
+		t.Fatalf("last bound %g does not reach 100", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		ratio := b[i] / b[i-1]
+		if want := math.Pow(10, 0.2); math.Abs(ratio-want) > 1e-9 {
+			t.Fatalf("bucket ratio %g at %d, want %g", ratio, i, want)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "help.", []float64{0.001, 0.01, 0.1, 1})
+
+	// 100 observations in the (0.001, 0.01] bucket, 10 in (0.1, 1].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("Count = %d, want 110", h.Count())
+	}
+	if got, want := h.Sum(), 100*0.005+10*0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	// p50 lands mid-bucket-2: within (0.001, 0.01].
+	if q := h.Quantile(0.5); q <= 0.001 || q > 0.01 {
+		t.Fatalf("p50 = %g, want within (0.001, 0.01]", q)
+	}
+	// p99 lands in the (0.1, 1] bucket.
+	if q := h.Quantile(0.99); q <= 0.1 || q > 1 {
+		t.Fatalf("p99 = %g, want within (0.1, 1]", q)
+	}
+	if q := h.Quantile(0.5); h.Quantile(0.99) < q {
+		t.Fatalf("quantiles not monotone: p50=%g p99=%g", q, h.Quantile(0.99))
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "help.", []float64{0.001, 1})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", q)
+	}
+	h.Observe(50)  // overflow bucket
+	h.Observe(-1)  // clamps into the first bucket
+	h.Observe(0)   // first bucket
+	h.Observe(0.5) // middle
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	// The overflow bucket reports the last finite bound.
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow p99 = %g, want 1", q)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "Test histogram.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		"test_seconds_count 3",
+		"test_seconds_sum ",
+		"# TYPE test_seconds_p50 gauge",
+		"test_seconds_p50 ",
+		"test_seconds_p95 ",
+		"test_seconds_p99 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryIncludesPhases(t *testing.T) {
+	// The Default-registry phase histograms feed Summary once any job
+	// has completed; synthesise one observation per phase.
+	QueueWaitSeconds.Observe(0.002)
+	SimulateSeconds.Observe(0.2)
+	PersistSeconds.Observe(0.0004)
+	E2ESeconds.Observe(0.21)
+	s := Summary()
+	for _, want := range []string{"lat[", "queue p50=", "sim p50=", "persist p50=", "e2e p50="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary missing %q: %s", want, s)
+		}
+	}
+}

@@ -127,9 +127,13 @@ var (
 		"Jobs reconstructed from the on-disk store at startup, by outcome.", "outcome")
 
 	// WALAppends counts fsync'd appends to the job store's write-ahead
-	// log (one per durable status transition).
+	// log (one per durable status transition); WALCompactions counts
+	// runtime WAL rewrites (wheel-scheduled; one more happens inside
+	// every Open).
 	WALAppends = NewCounter("ddsim_jobstore_wal_appends_total",
 		"Fsync'd write-ahead-log appends in the job store.")
+	WALCompactions = NewCounter("ddsim_jobstore_wal_compactions_total",
+		"Runtime write-ahead-log compactions in the job store.")
 
 	// ResCacheHits / ResCacheMisses / ResCacheJoins classify result-
 	// cache lookups: served from cache, led to a fresh simulation, or
@@ -149,6 +153,68 @@ var (
 		"Result-cache entries currently held.")
 	ResCacheBytes = NewGauge("ddsim_rescache_bytes",
 		"Total payload bytes currently held by the result cache.")
+
+	// ResCacheTTLEvictions counts entries dropped by the cache's
+	// age bound (wheel-scheduled sweeps plus lazy expiry on lookup),
+	// as opposed to the LRU capacity bounds counted above.
+	ResCacheTTLEvictions = NewCounter("ddsim_rescache_ttl_evictions_total",
+		"Result-cache entries evicted because they outlived the TTL.")
+
+	// QueueWaitSeconds / SimulateSeconds / PersistSeconds are the
+	// per-phase latency histograms of the ddsimd job pipeline: time
+	// from acceptance to a granted simulation slot, time simulating,
+	// and time writing the terminal state to the job store.
+	// E2ESeconds is the whole journey, acceptance to terminal state
+	// (cache hits included, which is why it can undercut the sum of
+	// the phases). All share one log-spaced ladder from 10µs to 100s;
+	// p50/p95/p99 gauges are derived at scrape time.
+	QueueWaitSeconds = NewHistogram("ddsim_queue_wait_seconds",
+		"Time from job acceptance to a granted simulation slot.",
+		LogBuckets(1e-5, 100, 5))
+	SimulateSeconds = NewHistogram("ddsim_simulate_seconds",
+		"Time simulating one job (all its noise points).",
+		LogBuckets(1e-5, 100, 5))
+	PersistSeconds = NewHistogram("ddsim_persist_seconds",
+		"Time persisting one job's terminal state to the job store.",
+		LogBuckets(1e-5, 100, 5))
+	E2ESeconds = NewHistogram("ddsim_e2e_seconds",
+		"Time from job acceptance to its terminal state.",
+		LogBuckets(1e-5, 100, 5))
+
+	// DispatchWaiting / DispatchGranted mirror the lock-free dispatch
+	// plane: tickets queued for a simulation slot (ring + priority
+	// heap) and slots granted since start. Snapshots are refreshed by
+	// a wheel-scheduled task in ddsimd, not at scrape time.
+	DispatchWaiting = NewGauge("ddsim_dispatch_waiting",
+		"Submissions queued in the dispatch plane for a simulation slot.")
+	DispatchGranted = NewGauge("ddsim_dispatch_granted",
+		"Simulation slots granted by the dispatch plane since start.")
+
+	// Timing-wheel activity: live timers, callbacks fired, timers
+	// cancelled before firing, and inter-level cascades. One wheel
+	// serves every schedule in the process (SSE keepalives, rate
+	// refills, TTL sweeps, compaction), so WheelTimers is the whole
+	// timer population — O(1) in connected clients by design.
+	WheelTimers = NewGauge("ddsim_timewheel_timers",
+		"Timers currently scheduled on the service timing wheel.")
+	WheelFired = NewGauge("ddsim_timewheel_fired",
+		"Timing-wheel callbacks fired since start (snapshot).")
+	WheelCancelled = NewGauge("ddsim_timewheel_cancelled",
+		"Timing-wheel timers cancelled before firing (snapshot).")
+	WheelCascades = NewGauge("ddsim_timewheel_cascades",
+		"Timing-wheel slot promotions between levels (snapshot).")
+
+	// SSEKeepalives counts keepalive comments written to idle SSE
+	// streams by the wheel schedule.
+	SSEKeepalives = NewCounter("ddsim_sse_keepalives_total",
+		"Keepalive comments written to idle SSE event streams.")
+
+	// RateBucketsEvicted counts per-client token buckets evicted by
+	// the wheel-scheduled idle sweep; RateBuckets is the live count.
+	RateBucketsEvicted = NewCounter("ddsim_rate_buckets_evicted_total",
+		"Idle per-client rate-limit buckets evicted by the wheel sweep.")
+	RateBuckets = NewGauge("ddsim_rate_buckets",
+		"Per-client rate-limit buckets currently tracked.")
 )
 
 // hitRate returns hits/lookups as a percentage, or 0 when idle.
@@ -179,5 +245,50 @@ func Summary() string {
 		s += fmt.Sprintf(" exact[channels=%d branches=%d purity=%.4f]",
 			ch, ExactBranches.Value(), ExactPurity.Value())
 	}
+	if E2ESeconds.Count() > 0 {
+		s += " " + phaseDigest()
+	}
 	return s
+}
+
+// phaseDigest formats the per-phase latency percentiles for Summary:
+// p50/p95/p99 per pipeline phase, phases with no observations omitted.
+func phaseDigest() string {
+	quantiles := func(h *Histogram) string {
+		return fmt.Sprintf("p50=%s p95=%s p99=%s",
+			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.95)), fmtSeconds(h.Quantile(0.99)))
+	}
+	s := "lat["
+	first := true
+	for _, ph := range [...]struct {
+		label string
+		h     *Histogram
+	}{
+		{"queue", QueueWaitSeconds},
+		{"sim", SimulateSeconds},
+		{"persist", PersistSeconds},
+		{"e2e", E2ESeconds},
+	} {
+		if ph.h.Count() == 0 {
+			continue
+		}
+		if !first {
+			s += " | "
+		}
+		first = false
+		s += ph.label + " " + quantiles(ph.h)
+	}
+	return s + "]"
+}
+
+// fmtSeconds renders a latency in the most readable unit.
+func fmtSeconds(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.2fs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	}
 }

@@ -1,0 +1,431 @@
+// Package timewheel is a hierarchical timing wheel: a fixed hierarchy
+// of slot arrays that schedules any number of timers with O(1) insert,
+// cancel and per-tick advance, driven by a single time.Ticker for the
+// whole process (or by an injected manual clock in tests).
+//
+// It exists so the long-running service (cmd/ddsimd) can keep its
+// timer count O(1) in connected clients: SSE keepalives, rate-bucket
+// refills, result-cache TTL sweeps, jobstore compaction and idle-
+// client eviction all collapse onto one wheel instead of one
+// time.Timer goroutine per entity. At 50k clients the runtime timer
+// heap and its goroutines are the difference between microseconds and
+// milliseconds of scheduler work per tick.
+//
+// Shape: levels[0] is the base wheel — Slots buckets of Tick width
+// each, covering Slots×Tick of future time. Each higher level covers
+// Slots times the span of the one below it. A timer lands in the
+// lowest level whose span contains its delay; when the base wheel
+// completes a revolution the due slot of the next level is "cascaded":
+// its timers are pulled out and re-inserted, promoting them toward
+// level 0 where they finally fire. With the defaults (10ms × 64 slots
+// × 4 levels) the wheel spans ~46 hours; longer delays are parked in
+// the top level and cascade around until they fit.
+//
+// Callbacks run on the wheel's tick goroutine (or inside Advance for
+// manual wheels), outside the wheel lock. They must be fast and must
+// not block — a callback that needs to do real work should hand it to
+// its own goroutine or queue. Firing resolution is one Tick: a timer
+// never fires early, and fires at most one tick late (plus however
+// long the tick goroutine was descheduled).
+package timewheel
+
+import (
+	"sync"
+	"time"
+)
+
+// Defaults for New. 10ms resolution is far below any human-visible
+// service deadline (keepalives, TTLs, refills), and 64⁴ ticks ≈ 46h
+// outspans every schedule the service uses.
+const (
+	DefaultTick   = 10 * time.Millisecond
+	DefaultSlots  = 64 // must be a power of two
+	DefaultLevels = 4
+)
+
+// Wheel is a hierarchical timing wheel. All methods are safe for
+// concurrent use. The zero value is not usable; construct with New or
+// NewManual.
+type Wheel struct {
+	tick   time.Duration
+	slots  uint64 // per level, power of two
+	mask   uint64
+	shift  uint // log2(slots)
+	levels int
+	start  time.Time
+
+	mu        sync.Mutex
+	cur       uint64 // ticks elapsed since start
+	buckets   [][]bucket
+	active    int
+	fired     uint64
+	cancelled uint64
+	cascades  uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	manual   bool
+}
+
+// bucket is one slot's doubly-linked timer list, anchored by an
+// embedded sentinel so unlink needs no head pointer updates.
+type bucket struct {
+	root Timer
+}
+
+func (b *bucket) init() {
+	b.root.next = &b.root
+	b.root.prev = &b.root
+}
+
+func (b *bucket) push(t *Timer) {
+	t.prev = b.root.prev
+	t.next = &b.root
+	b.root.prev.next = t
+	b.root.prev = t
+	t.queued = true
+}
+
+// takeAll unlinks and returns the slot's timers as a nil-terminated
+// chain via their next pointers.
+func (b *bucket) takeAll() *Timer {
+	head := b.root.next
+	if head == &b.root {
+		return nil
+	}
+	b.root.prev.next = nil
+	b.init()
+	return head
+}
+
+// Timer is one scheduled callback. A Timer is owned by exactly one
+// Wheel and must only be used with the wheel that created it.
+type Timer struct {
+	w      *Wheel
+	f      func()
+	expiry uint64 // absolute tick index at which to fire
+	period uint64 // ticks between firings; 0 = one-shot
+
+	next, prev *Timer
+	queued     bool // linked into a bucket (guarded by w.mu)
+	stopped    bool // Stop was called (guarded by w.mu)
+}
+
+// New creates a wheel driven by a background goroutine reading one
+// time.Ticker of the given resolution (0 means DefaultTick). Call
+// Stop when done with it.
+func New(tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	w := newWheel(tick, DefaultSlots, DefaultLevels, time.Now(), false)
+	go w.loop()
+	return w
+}
+
+// NewManual creates a wheel with no goroutine and no relation to the
+// wall clock: time only passes when Advance is called. start anchors
+// Now. Intended for deterministic tests.
+func NewManual(tick time.Duration, slots, levels int, start time.Time) *Wheel {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	if levels <= 0 {
+		levels = DefaultLevels
+	}
+	if slots&(slots-1) != 0 {
+		panic("timewheel: slots must be a power of two")
+	}
+	return newWheel(tick, slots, levels, start, true)
+}
+
+func newWheel(tick time.Duration, slots, levels int, start time.Time, manual bool) *Wheel {
+	w := &Wheel{
+		tick:   tick,
+		slots:  uint64(slots),
+		mask:   uint64(slots) - 1,
+		levels: levels,
+		start:  start,
+		stop:   make(chan struct{}),
+		manual: manual,
+	}
+	for w.slots>>w.shift > 1 {
+		w.shift++
+	}
+	w.buckets = make([][]bucket, levels)
+	for l := range w.buckets {
+		w.buckets[l] = make([]bucket, slots)
+		for i := range w.buckets[l] {
+			w.buckets[l][i].init()
+		}
+	}
+	return w
+}
+
+// Stop halts the tick goroutine of a New-constructed wheel. Pending
+// timers never fire after Stop returns. Manual wheels have no
+// goroutine; Stop only marks them dead.
+func (w *Wheel) Stop() { w.stopOnce.Do(func() { close(w.stop) }) }
+
+// Tick returns the wheel's resolution.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Now returns the wheel's notion of current time: start plus elapsed
+// ticks. For a real wheel this trails the wall clock by at most one
+// tick; for a manual wheel it is exact.
+func (w *Wheel) Now() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.start.Add(time.Duration(w.cur) * w.tick)
+}
+
+// AfterFunc schedules f to run once after d. It never fires early;
+// sub-tick delays round up to one tick.
+func (w *Wheel) AfterFunc(d time.Duration, f func()) *Timer {
+	t := &Timer{w: w, f: f}
+	w.mu.Lock()
+	t.expiry = w.cur + w.ticksFor(d)
+	w.insertLocked(t)
+	w.active++
+	w.mu.Unlock()
+	return t
+}
+
+// Every schedules f to run every interval (first firing one interval
+// from now). A slow wheel goroutine coalesces missed intervals: the
+// next firing is always at least one tick in the future, so a stalled
+// process does not unleash a burst of catch-up callbacks.
+func (w *Wheel) Every(interval time.Duration, f func()) *Timer {
+	t := &Timer{w: w, f: f}
+	w.mu.Lock()
+	t.period = w.ticksFor(interval)
+	t.expiry = w.cur + t.period
+	w.insertLocked(t)
+	w.active++
+	w.mu.Unlock()
+	return t
+}
+
+// ticksFor converts a duration to a tick count, rounding up, minimum 1.
+func (w *Wheel) ticksFor(d time.Duration) uint64 {
+	if d <= 0 {
+		return 1
+	}
+	n := uint64((d + w.tick - 1) / w.tick)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Stop cancels the timer. It reports whether the call prevented any
+// future firing (false when the timer already fired, or was already
+// stopped). Like time.Timer, Stop does not wait for a callback that
+// is currently executing — periodic timers are re-armed under the
+// wheel lock before their callback runs, so Stop always prevents the
+// *next* firing even when called mid-callback.
+func (t *Timer) Stop() bool {
+	w := t.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.queued {
+		t.unlink()
+		t.queued = false
+		w.active--
+		w.cancelled++
+		return true
+	}
+	return false
+}
+
+// Reset re-arms the timer to fire once after d, whether or not it has
+// already fired or been stopped (the period of an Every timer is
+// preserved). It reports whether the timer was pending.
+func (t *Timer) Reset(d time.Duration) bool {
+	w := t.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pending := t.queued
+	if t.queued {
+		t.unlink()
+		t.queued = false
+	} else {
+		w.active++
+	}
+	t.stopped = false
+	t.expiry = w.cur + w.ticksFor(d)
+	w.insertLocked(t)
+	return pending
+}
+
+func (t *Timer) unlink() {
+	t.prev.next = t.next
+	t.next.prev = t.prev
+	t.next, t.prev = nil, nil
+}
+
+// insertLocked files the timer into the lowest level whose span
+// contains its delay. Delays beyond the wheel's total span park in
+// the top level and re-cascade until they fit. Caller holds w.mu.
+func (w *Wheel) insertLocked(t *Timer) {
+	if t.expiry <= w.cur {
+		// Only cascade re-insertion can present an already-due timer
+		// (external inserts round up to at least one tick). The
+		// cascade runs before the tick's base slot is collected, so
+		// filing into the current slot fires it on this very tick —
+		// exactly on time, not one tick late.
+		w.buckets[0][w.cur&w.mask].push(t)
+		return
+	}
+	delta := t.expiry - w.cur
+	span := w.slots
+	shift := uint(0)
+	for l := 0; l < w.levels; l++ {
+		if delta < span || l == w.levels-1 {
+			idx := t.expiry
+			if delta >= span { // beyond total span: park as far out as possible
+				idx = w.cur + span - 1
+			}
+			w.buckets[l][(idx>>shift)&w.mask].push(t)
+			return
+		}
+		span <<= w.shift
+		shift += w.shift
+	}
+}
+
+// Advance moves a manual wheel's clock forward by d, firing every
+// timer that comes due, in tick order, synchronously on the calling
+// goroutine. Panics on a real (New) wheel, whose clock is the ticker.
+func (w *Wheel) Advance(d time.Duration) {
+	if !w.manual {
+		panic("timewheel: Advance on a ticker-driven wheel")
+	}
+	w.mu.Lock()
+	target := w.cur + uint64(d/w.tick)
+	w.mu.Unlock()
+	w.advanceTo(target)
+}
+
+// loop drives a real wheel from one shared ticker.
+func (w *Wheel) loop() {
+	ticker := time.NewTicker(w.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			w.advanceTo(uint64(now.Sub(w.start) / w.tick))
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// advanceTo processes every tick up to target, running due callbacks
+// outside the lock after each tick.
+func (w *Wheel) advanceTo(target uint64) {
+	for {
+		w.mu.Lock()
+		if w.cur >= target {
+			w.mu.Unlock()
+			return
+		}
+		w.cur++
+		// Cascade before firing: when the base wheel wraps, the due
+		// slot one level up holds timers that may fire this very tick.
+		if w.cur&w.mask == 0 {
+			w.cascadeLocked()
+		}
+		fire := w.collectLocked()
+		w.mu.Unlock()
+		for _, f := range fire {
+			f()
+		}
+	}
+}
+
+// cascadeLocked promotes the due slot of each higher level whose
+// lower neighbour just completed a revolution. Caller holds w.mu.
+func (w *Wheel) cascadeLocked() {
+	shift := w.shift
+	for l := 1; l < w.levels; l++ {
+		idx := (w.cur >> shift) & w.mask
+		head := w.buckets[l][idx].takeAll()
+		for t := head; t != nil; {
+			next := t.next
+			t.next, t.prev, t.queued = nil, nil, false
+			w.insertLocked(t)
+			t = next
+		}
+		if head != nil {
+			w.cascades++
+		}
+		if idx != 0 {
+			return // this level hasn't wrapped; higher levels can't be due
+		}
+		shift += w.shift
+	}
+}
+
+// collectLocked drains the current base slot, re-arms periodic
+// timers, re-files cascaded timers that aren't due yet, and returns
+// the due callbacks in insertion order. Caller holds w.mu.
+func (w *Wheel) collectLocked() []func() {
+	head := w.buckets[0][w.cur&w.mask].takeAll()
+	if head == nil {
+		return nil
+	}
+	var fire []func()
+	for t := head; t != nil; {
+		next := t.next
+		t.next, t.prev, t.queued = nil, nil, false
+		switch {
+		case t.stopped:
+			// Lost the race with Stop; active was already decremented.
+		case t.expiry > w.cur:
+			// A long-delay timer parked at the top level whose true
+			// expiry is still ahead: re-file, don't fire.
+			w.insertLocked(t)
+		default:
+			w.fired++
+			fire = append(fire, t.f)
+			if t.period > 0 {
+				t.expiry = w.cur + t.period
+				w.insertLocked(t)
+			} else {
+				w.active--
+			}
+		}
+		t = next
+	}
+	return fire
+}
+
+// Stats is a point-in-time snapshot of wheel activity.
+type Stats struct {
+	Active    int    // timers currently scheduled
+	Fired     uint64 // callbacks fired since creation
+	Cancelled uint64 // timers stopped before firing
+	Cascades  uint64 // slot promotions between levels
+	Ticks     uint64 // ticks processed
+}
+
+// Stats returns current wheel counters.
+func (w *Wheel) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Active:    w.active,
+		Fired:     w.fired,
+		Cancelled: w.cancelled,
+		Cascades:  w.cascades,
+		Ticks:     w.cur,
+	}
+}

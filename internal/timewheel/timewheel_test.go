@@ -1,0 +1,318 @@
+package timewheel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testWheel is a small manual wheel (10ms × 8 slots × 3 levels, total
+// span 512 ticks) so every test exercises wrap-around and cascades
+// without advancing millions of ticks.
+func testWheel() *Wheel {
+	return NewManual(10*time.Millisecond, 8, 3, time.Unix(0, 0))
+}
+
+// fireTick advances one tick at a time until the flag is set and
+// returns the tick count at which the callback ran, or -1 after limit
+// ticks.
+func fireTick(t *testing.T, w *Wheel, fired *atomic.Bool, limit int) int {
+	t.Helper()
+	for i := 1; i <= limit; i++ {
+		w.Advance(w.Tick())
+		if fired.Load() {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTickAccuracy checks the firing bound: a timer never fires
+// early, and fires no later than one tick after its delay — for
+// delays in every level of the hierarchy and on exact slot/revolution
+// boundaries.
+func TestTickAccuracy(t *testing.T) {
+	tick := 10 * time.Millisecond
+	delays := []time.Duration{
+		0,                 // rounds up to 1 tick
+		tick / 2,          // sub-tick rounds up
+		tick,              // exactly 1 tick
+		3 * tick,          // level 0
+		7 * tick,          // last level-0 slot
+		8 * tick,          // exactly one revolution: first level-1 delay
+		9 * tick,          // level 1
+		63 * tick,         // near level-1 span
+		64 * tick,         // exactly level-1 span: level 2
+		100 * tick,        // level 2
+		511 * tick,        // last representable tick
+		512 * tick,        // exactly the total span: parks in top level
+		1000 * tick,       // beyond the total span
+		2*512*tick + tick, // two full parks
+	}
+	for _, d := range delays {
+		w := testWheel()
+		var fired atomic.Bool
+		w.AfterFunc(d, func() { fired.Store(true) })
+		want := int((d + tick - 1) / tick)
+		if want == 0 {
+			want = 1
+		}
+		got := fireTick(t, w, &fired, want+2)
+		if got != want {
+			t.Errorf("AfterFunc(%v): fired at tick %d, want %d", d, got, want)
+		}
+		if st := w.Stats(); st.Active != 0 {
+			t.Errorf("AfterFunc(%v): %d timers still active after firing", d, st.Active)
+		}
+	}
+}
+
+// TestCascade pins the promotion mechanics: a delay beyond the base
+// wheel's span must be filed in a higher level, cascade down when its
+// slot comes due, and still fire exactly on time.
+func TestCascade(t *testing.T) {
+	w := testWheel()
+	var fired atomic.Bool
+	w.AfterFunc(20*8*10*time.Millisecond/20, func() {}) // noise timer in level 1
+	w.AfterFunc(70*10*time.Millisecond, func() { fired.Store(true) })
+	if got := fireTick(t, w, &fired, 72); got != 70 {
+		t.Fatalf("level-1 timer fired at tick %d, want 70", got)
+	}
+	if st := w.Stats(); st.Cascades == 0 {
+		t.Fatalf("no cascades recorded for a level-1 timer: %+v", st)
+	}
+}
+
+// TestCancelBeforeFire checks Stop semantics: it prevents the firing,
+// reports so exactly once, and releases the slot.
+func TestCancelBeforeFire(t *testing.T) {
+	w := testWheel()
+	var fired atomic.Bool
+	tm := w.AfterFunc(50*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop before firing reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	w.Advance(time.Second)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+	st := w.Stats()
+	if st.Active != 0 || st.Cancelled != 1 || st.Fired != 0 {
+		t.Fatalf("stats after cancel: %+v", st)
+	}
+}
+
+// TestStopAfterFire: stopping a timer that already fired is a no-op
+// reporting false.
+func TestStopAfterFire(t *testing.T) {
+	w := testWheel()
+	var fired atomic.Bool
+	tm := w.AfterFunc(10*time.Millisecond, func() { fired.Store(true) })
+	w.Advance(20 * time.Millisecond)
+	if !fired.Load() {
+		t.Fatal("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing reported true")
+	}
+}
+
+// TestRearm covers Reset in both states: re-arming a pending timer
+// postpones it; re-arming a fired timer schedules a fresh firing.
+func TestRearm(t *testing.T) {
+	w := testWheel()
+	var count atomic.Int32
+	tm := w.AfterFunc(30*time.Millisecond, func() { count.Add(1) })
+
+	// Postpone while pending: the original deadline must not fire.
+	if !tm.Reset(100 * time.Millisecond) {
+		t.Fatal("Reset of a pending timer reported not-pending")
+	}
+	w.Advance(50 * time.Millisecond)
+	if n := count.Load(); n != 0 {
+		t.Fatalf("timer fired %d times before the re-armed deadline", n)
+	}
+	w.Advance(60 * time.Millisecond)
+	if n := count.Load(); n != 1 {
+		t.Fatalf("re-armed timer fired %d times, want 1", n)
+	}
+
+	// Re-arm after firing: a second firing must happen.
+	if tm.Reset(20 * time.Millisecond) {
+		t.Fatal("Reset of a fired timer reported pending")
+	}
+	w.Advance(30 * time.Millisecond)
+	if n := count.Load(); n != 2 {
+		t.Fatalf("timer fired %d times after second re-arm, want 2", n)
+	}
+	// Re-arm after Stop: the timer comes back to life.
+	tm.Reset(20 * time.Millisecond)
+	tm.Stop()
+	tm.Reset(20 * time.Millisecond)
+	w.Advance(30 * time.Millisecond)
+	if n := count.Load(); n != 3 {
+		t.Fatalf("timer fired %d times after stop+re-arm, want 3", n)
+	}
+}
+
+// TestEvery checks periodic cadence across level boundaries and that
+// Stop halts the series even when called from inside the callback.
+func TestEvery(t *testing.T) {
+	w := testWheel()
+	var ticks []uint64
+	var mu sync.Mutex
+	w.Every(30*time.Millisecond, func() {
+		mu.Lock()
+		ticks = append(ticks, w.Stats().Ticks)
+		mu.Unlock()
+	})
+	w.Advance(200 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []uint64{3, 6, 9, 12, 15, 18}
+	if len(ticks) != len(want) {
+		t.Fatalf("periodic timer fired at ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("periodic timer fired at ticks %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryStopFromCallback(t *testing.T) {
+	w := testWheel()
+	var count atomic.Int32
+	var tm *Timer
+	tm = w.Every(10*time.Millisecond, func() {
+		if count.Add(1) == 2 {
+			tm.Stop()
+		}
+	})
+	w.Advance(time.Second)
+	if n := count.Load(); n != 2 {
+		t.Fatalf("periodic timer fired %d times after self-stop at 2", n)
+	}
+	if st := w.Stats(); st.Active != 0 {
+		t.Fatalf("self-stopped periodic timer still active: %+v", st)
+	}
+}
+
+// TestChurn adds and cancels 100k timers (and fires a sprinkling of
+// them) and proves nothing leaks: no goroutines (a manual wheel has
+// none to begin with and New wheels are covered by TestRealWheel), no
+// slot residue, and an exact active count.
+func TestChurn(t *testing.T) {
+	w := NewManual(time.Millisecond, 64, 4, time.Unix(0, 0))
+	const n = 100_000
+	var fired atomic.Int64
+	timers := make([]*Timer, 0, n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(1+i%5000) * time.Millisecond
+		timers = append(timers, w.AfterFunc(d, func() { fired.Add(1) }))
+	}
+	if st := w.Stats(); st.Active != n {
+		t.Fatalf("active = %d after %d adds", st.Active, n)
+	}
+	// Let a slice of the population fire, so cancellation interleaves
+	// with real expiries and cascades.
+	w.Advance(100 * time.Millisecond)
+	firedEarly := fired.Load()
+	cancelled := int64(0)
+	for _, tm := range timers {
+		if tm.Stop() {
+			cancelled++
+		}
+	}
+	if firedEarly+cancelled != n {
+		t.Fatalf("fired %d + cancelled %d != %d added", firedEarly, cancelled, n)
+	}
+	if st := w.Stats(); st.Active != 0 {
+		t.Fatalf("active = %d after full churn, want 0", st.Active)
+	}
+	// Drain the wheel past every original deadline: nothing may fire.
+	w.Advance(10 * time.Second)
+	if fired.Load() != firedEarly {
+		t.Fatalf("%d cancelled timers fired anyway", fired.Load()-firedEarly)
+	}
+}
+
+// TestConcurrentChurn hammers add/stop/reset from several goroutines
+// while another advances the clock — the -race run is the assertion.
+func TestConcurrentChurn(t *testing.T) {
+	w := NewManual(time.Millisecond, 8, 3, time.Unix(0, 0))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tm := w.AfterFunc(time.Duration(1+i%100)*time.Millisecond, func() {})
+				if i%3 == 0 {
+					tm.Stop()
+				} else if i%3 == 1 {
+					tm.Reset(time.Duration(1 + i%50))
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		w.Advance(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	w.Advance(time.Second)
+}
+
+// TestRealWheel exercises the ticker-driven constructor end to end:
+// a real timer fires, Stop kills the goroutine, and nothing fires
+// after Stop.
+func TestRealWheel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := New(time.Millisecond)
+	done := make(chan struct{})
+	w.AfterFunc(5*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real wheel never fired a 5ms timer")
+	}
+	var lateFired atomic.Bool
+	w.AfterFunc(50*time.Millisecond, func() { lateFired.Store(true) })
+	w.Stop()
+	time.Sleep(100 * time.Millisecond)
+	if lateFired.Load() {
+		t.Fatal("timer fired after wheel Stop")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after Stop", before, g)
+	}
+}
+
+// TestNowAdvances pins the manual wheel's clock arithmetic.
+func TestNowAdvances(t *testing.T) {
+	start := time.Unix(100, 0)
+	w := NewManual(10*time.Millisecond, 8, 3, start)
+	if got := w.Now(); !got.Equal(start) {
+		t.Fatalf("Now = %v at creation, want %v", got, start)
+	}
+	w.Advance(55 * time.Millisecond) // 5 whole ticks
+	if got, want := w.Now(), start.Add(50*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("Now = %v after Advance(55ms), want %v", got, want)
+	}
+}
