@@ -16,6 +16,12 @@
 //	ddload -url http://127.0.0.1:8344 -n 50000 -c 256 \
 //	       -sse 0.1 -cancel 0.02 -priority 10
 //
+// Against a cluster, -target points at a coordinator-mode ddsimd
+// (same job API; the coordinator leases chunk ranges to its worker
+// fleet) and the identical conservation proof applies end to end —
+// CI's cluster-smoke job runs exactly that against a 2-worker
+// cluster.
+//
 // Rejections (429) are counted separately from errors: shedding load
 // is the server's admission control working as designed.
 package main
@@ -34,6 +40,7 @@ import (
 func main() {
 	var (
 		url      = flag.String("url", "http://127.0.0.1:8344", "ddsimd base URL")
+		target   = flag.String("target", "", "cluster coordinator base URL (overrides -url; the job API is identical — the coordinator leases each job's chunk ranges to its worker fleet, so the same conservation accounting applies)")
 		total    = flag.Int("n", 1000, "total submissions to issue")
 		conc     = flag.Int("c", 64, "concurrent submitters")
 		watchers = flag.Int("watchers", 0, "concurrent watchers (0 = same as -c)")
@@ -55,8 +62,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	base := *url
+	if *target != "" {
+		base = *target
+	}
 	cfg := config{
-		BaseURL:        *url,
+		BaseURL:        base,
 		Total:          *total,
 		Concurrency:    *conc,
 		Watchers:       *watchers,

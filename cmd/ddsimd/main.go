@@ -69,6 +69,15 @@
 // SIGTERM drains cleanly: running jobs are cancelled and report
 // partial results (and, with -data-dir, are re-queued on the next
 // start).
+//
+// Cluster modes: with -worker the process is a stateless computation
+// worker serving only the /work lease endpoints (POST /work/lease,
+// /work/heartbeat, /work/complete) plus /metrics and /healthz; with
+// -coordinator <urls> the job API is unchanged but every stochastic
+// job's chunk ranges are leased to the listed workers under
+// heartbeat-renewed fencing tokens and merged bit-identically to
+// local simulation (-lease-ttl, -lease-heartbeat, -lease-chunks tune
+// the leases; see docs/OPERATIONS.md for the cluster runbook).
 package main
 
 import (
@@ -79,12 +88,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ddsim/internal/cluster"
 	"ddsim/internal/jobstore"
 	"ddsim/internal/rescache"
 )
+
+// splitURLs parses the -coordinator worker list: comma-separated base
+// URLs, surrounding space and trailing slashes trimmed.
+func splitURLs(list string) []string {
+	var urls []string
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
 
 func main() {
 	var (
@@ -102,13 +125,43 @@ func main() {
 		keepalive  = flag.Duration("sse-keepalive", defaultSSEKeepalive, "keepalive-comment cadence on idle event streams (0 disables)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "result-cache entry lifetime; swept on the timing wheel (0 = entries never age out)")
 		compactEvr = flag.Duration("compact-every", 10*time.Minute, "jobstore WAL compaction cadence (0 disables; needs -data-dir)")
+
+		// Cluster modes (see cluster.go and docs/OPERATIONS.md).
+		workerMode  = flag.Bool("worker", false, "run as a stateless cluster worker: serve only the /work lease endpoints (plus /metrics and /healthz) and compute chunk ranges leased by a coordinator")
+		coordinator = flag.String("coordinator", "", "comma-separated worker base URLs (e.g. http://h1:8345,http://h2:8345); run the job API as a cluster coordinator leasing every stochastic job's chunk ranges to these workers — results stay bit-identical to local simulation")
+		leaseTTL    = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "coordinator: lease lifetime without a heartbeat renewal; an expired lease is reassigned and re-simulated")
+		leaseHB     = flag.Duration("lease-heartbeat", 0, "coordinator: heartbeat/renewal cadence per lease (0 = lease-ttl/3)")
+		leaseChunks = flag.Int("lease-chunks", cluster.DefaultLeaseChunks, "coordinator: consecutive chunks per lease")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *workerMode && *coordinator != "" {
+		fmt.Fprintln(os.Stderr, "ddsimd: -worker and -coordinator are mutually exclusive")
+		os.Exit(1)
+	}
+	if *workerMode {
+		runWorker(ctx, *addr)
+		return
+	}
+
 	s := newServer(ctx, *maxActive, *workers, *maxRuns)
+	if *coordinator != "" {
+		cfg := cluster.Config{
+			Workers:        splitURLs(*coordinator),
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *leaseHB,
+			LeaseChunks:    *leaseChunks,
+			DataDir:        *dataDir,
+		}
+		if _, err := cluster.New(cfg); err != nil { // validate eagerly
+			fmt.Fprintln(os.Stderr, "ddsimd:", err)
+			os.Exit(1)
+		}
+		s.clusterCfg = &cfg
+	}
 	s.maxJobs = *maxJobs
 	s.maxPending = *maxPending
 	s.sseKeepalive = *keepalive

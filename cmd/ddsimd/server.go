@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ddsim"
+	"ddsim/internal/cluster"
 	"ddsim/internal/dd"
 	"ddsim/internal/dispatch"
 	"ddsim/internal/exact"
@@ -237,6 +238,11 @@ type server struct {
 	maxJobs    int // retained jobs; oldest finished are evicted
 	maxPending int // admission cap on queued+running jobs
 
+	// clusterCfg, when non-nil, puts the server in coordinator mode:
+	// stochastic jobs lease their chunk ranges to the configured
+	// worker fleet instead of the local pool (see cluster.go).
+	clusterCfg *cluster.Config
+
 	disp    *dispatch.Dispatcher // lock-free submit ring + priority-ordered slots
 	wheel   *timewheel.Wheel     // every periodic schedule in the process
 	store   *jobstore.Store      // durable job/result persistence; nil = ephemeral
@@ -339,6 +345,24 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.Handle("GET /metrics", telemetry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// workerHandler is the -worker mode routing table: the cluster work
+// plane (lease grant, heartbeat renewal, completion hand-off) plus
+// observability. The /work handlers live in internal/cluster; the
+// routes are re-registered here so the docs gate keeps docs/API.md
+// covering them.
+func workerHandler(wk *cluster.Worker) http.Handler {
+	mux := http.NewServeMux()
+	h := wk.Handler()
+	mux.Handle("POST /work/lease", h)
+	mux.Handle("POST /work/heartbeat", h)
+	mux.Handle("POST /work/complete", h)
+	mux.Handle("GET /metrics", telemetry.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "mode": "worker"})
+	})
 	return mux
 }
 
@@ -637,14 +661,23 @@ func (s *server) run(j *job) {
 		_ = s.store.SetStatus(j.id, statusRunning)
 	}
 
-	batch := make([]ddsim.BatchJob, len(j.models))
-	for i, m := range j.models {
-		opts := j.spec.Options
-		opts.OnProgress = j.publish // Progress.Job = noise-point index
-		batch[i] = ddsim.BatchJob{Circuit: j.circ, Model: m, Opts: opts}
-	}
 	simStart := time.Now()
-	results, err := ddsim.BatchSimulate(j.ctx, j.backend, batch, s.workers)
+	var results []*ddsim.Result
+	if s.clusterCfg != nil && j.spec.Options.Mode != ddsim.ModeExact {
+		// Coordinator mode: chunk ranges lease out to the worker
+		// fleet; the merged result is bit-identical to the local
+		// path below. Exact-mode jobs have no chunked run-index
+		// space and stay local.
+		results, err = s.runOnCluster(j)
+	} else {
+		batch := make([]ddsim.BatchJob, len(j.models))
+		for i, m := range j.models {
+			opts := j.spec.Options
+			opts.OnProgress = j.publish // Progress.Job = noise-point index
+			batch[i] = ddsim.BatchJob{Circuit: j.circ, Model: m, Opts: opts}
+		}
+		results, err = ddsim.BatchSimulate(j.ctx, j.backend, batch, s.workers)
+	}
 	telemetry.SimulateSeconds.Observe(time.Since(simStart).Seconds())
 	telemetry.JobsRunning.Dec()
 	s.finalize(j, results, err)

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/clusterid"
+	"ddsim/internal/stochastic"
+	"ddsim/internal/telemetry"
+)
+
+// TestCoordinatorCrashRecovery kills a coordinator mid-job — after
+// some parts journaled, with work still in flight — and resumes on
+// the same data dir: the resumed job must complete bit-identically
+// without recomputing the journaled parts (no lost chunks) and
+// without merging any part twice (no double counting; the strict
+// reducer would reject it).
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	spec := benchSpec(t, circuit.GHZ(6).MeasureAll(), 96) // 12 chunks, 6 parts of 2
+	want := singleNode(t, spec)
+
+	// Incarnation 1: both workers share a gate that lets the first
+	// two parts (chunks 0–3) through and stalls every later chunk.
+	urls, workers, _ := startWorkers(t, 2)
+	release := make(chan struct{})
+	gateFn := func(_ clusterid.ID, chunk int) {
+		if chunk >= 4 {
+			<-release
+		}
+	}
+	workers[0].Gate = gateFn
+	workers[1].Gate = gateFn
+	t.Cleanup(func() { close(release) })
+
+	partsBefore := telemetry.ClusterPartsCompleted.Value()
+	coord1, err := New(Config{
+		Workers:        urls,
+		LeaseTTL:       time.Minute, // no expiry noise in this test
+		HeartbeatEvery: time.Millisecond,
+		LeaseChunks:    2,
+		DataDir:        dataDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, crash := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord1.Run(ctx1, "recov", spec)
+		done <- err
+	}()
+	deadline := time.After(30 * time.Second)
+	for telemetry.ClusterPartsCompleted.Value() < partsBefore+2 {
+		select {
+		case err := <-done:
+			t.Fatalf("job finished before the crash: %v", err)
+		case <-deadline:
+			t.Fatal("first incarnation never journaled 2 parts")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Kill -9: the coordinator vanishes mid-job, no cleanup beyond
+	// what was already durable.
+	crash()
+	if err := <-done; err == nil {
+		t.Fatal("crashed run reported success")
+	}
+	journalPath := filepath.Join(dataDir, "cluster", "recov.wal")
+	if _, err := os.Stat(journalPath); err != nil {
+		t.Fatalf("journal missing after crash: %v", err)
+	}
+
+	// Incarnation 2: fresh coordinator and fresh (ungated) workers on
+	// the same data dir. It must resume, not restart: the two
+	// journaled parts (4 chunks) are restored, only the rest computes.
+	urls2, _, _ := startWorkers(t, 2)
+	chunksBefore := telemetry.ClusterChunksComputed.Value()
+	coord2, err := New(Config{
+		Workers:        urls2,
+		LeaseTTL:       time.Minute,
+		HeartbeatEvery: time.Millisecond,
+		LeaseChunks:    2,
+		DataDir:        dataDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := coord2.Run(ctx, "recov", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "crash-recovery", want, res)
+	if recomputed := telemetry.ClusterChunksComputed.Value() - chunksBefore; recomputed != 8 {
+		t.Errorf("resumed run computed %d chunks, want exactly the 8 unjournaled ones", recomputed)
+	}
+	if _, err := os.Stat(journalPath); !os.IsNotExist(err) {
+		t.Errorf("journal not removed after the resumed job finished: %v", err)
+	}
+}
+
+// TestJournalRejectsForeignSpec guards resume correctness: a journal
+// written for one spec must not seed a differently-specced job.
+func TestJournalRejectsForeignSpec(t *testing.T) {
+	dataDir := t.TempDir()
+	specA := benchSpec(t, circuit.GHZ(5), 32)
+	jobA, err := specA.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planA, err := stochastic.PlanChunks(jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, prev, parts, err := openJournal(dataDir, "foreign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != nil || len(parts) != 0 {
+		t.Fatalf("fresh journal not empty: %v %v", prev, parts)
+	}
+	if err := jr.plan(specA, planA); err != nil {
+		t.Fatal(err)
+	}
+	jr.close()
+
+	specB := specA
+	specB.Options.Seed++ // different seed → different job
+	urls, _, _ := startWorkers(t, 1)
+	coord, err := New(Config{Workers: urls, DataDir: dataDir, HeartbeatEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Run(context.Background(), "foreign", specB); err == nil {
+		t.Fatal("coordinator resumed a journal belonging to a different spec")
+	}
+	// The matching spec still resumes fine.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := coord.Run(ctx, "foreign", specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "matching-resume", singleNode(t, specA), res)
+}
+
+// TestJournalPartReplayDeduped exercises the journal's replay dedup
+// directly: duplicate part entries (a crash in the append window plus
+// a re-run) restore once.
+func TestJournalPartReplayDeduped(t *testing.T) {
+	dataDir := t.TempDir()
+	spec := benchSpec(t, circuit.GHZ(5), 32)
+	job, err := spec.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := stochastic.PlanChunks(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, _, _, err := openJournal(dataDir, "dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.plan(spec, plan); err != nil {
+		t.Fatal(err)
+	}
+	sums := dummySums(0, 2)
+	if err := jr.part(0, sums); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.part(0, sums); err != nil {
+		t.Fatal(err)
+	}
+	jr.close()
+	jr2, prev, parts, err := openJournal(dataDir, "dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.close()
+	if prev == nil {
+		t.Fatal("plan entry lost")
+	}
+	if len(parts) != 1 || len(parts[0]) != 2 {
+		t.Fatalf("replay = %v, want part 0 restored once with 2 sums", parts)
+	}
+}

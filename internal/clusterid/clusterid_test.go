@@ -1,0 +1,127 @@
+package clusterid
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	at := Epoch.Add(12345 * time.Millisecond)
+	g, err := NewWithClock(517, fixedClock(at))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := g.Next()
+	if got := id.Time(); !got.Equal(at) {
+		t.Errorf("Time() = %v, want %v", got, at)
+	}
+	if id.Node() != 517 {
+		t.Errorf("Node() = %d, want 517", id.Node())
+	}
+	if id.Seq() != 0 {
+		t.Errorf("Seq() = %d, want 0", id.Seq())
+	}
+	if next := g.Next(); next.Seq() != 1 || next <= id {
+		t.Errorf("second mint = seq %d (id %v), want seq 1 above %v", next.Seq(), next, id)
+	}
+	if id == 0 {
+		t.Error("minted the zero ID")
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := New(MaxNode + 1); err == nil {
+		t.Error("node past MaxNode accepted")
+	}
+	if _, err := New(MaxNode); err != nil {
+		t.Errorf("MaxNode rejected: %v", err)
+	}
+}
+
+func TestMonotonicWithinMillisecond(t *testing.T) {
+	g, _ := NewWithClock(1, fixedClock(Epoch.Add(time.Second)))
+	prev := ID(0)
+	// 10000 > 4096 forces sequence overflow and borrow-from-future.
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if id <= prev {
+			t.Fatalf("id %d (%v) not greater than predecessor %v", i, id, prev)
+		}
+		prev = id
+	}
+	if prev.Time().Equal(Epoch.Add(time.Second)) {
+		t.Error("sequence overflow did not borrow from the future")
+	}
+}
+
+func TestBackwardsClockHeld(t *testing.T) {
+	now := Epoch.Add(time.Minute)
+	g, _ := NewWithClock(1, func() time.Time { return now })
+	a := g.Next()
+	now = Epoch.Add(30 * time.Second) // clock jumps backwards
+	b := g.Next()
+	if b <= a {
+		t.Fatalf("backwards clock broke monotonicity: %v then %v", a, b)
+	}
+	if b.Time().Before(a.Time()) {
+		t.Errorf("embedded timestamp went backwards: %v then %v", a.Time(), b.Time())
+	}
+}
+
+func TestDistinctNodesDistinctIDs(t *testing.T) {
+	clock := fixedClock(Epoch.Add(time.Hour))
+	g1, _ := NewWithClock(1, clock)
+	g2, _ := NewWithClock(2, clock)
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, id := range []ID{g1.Next(), g2.Next()} {
+			if seen[id] {
+				t.Fatalf("duplicate id %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestConcurrentMintUnique(t *testing.T) {
+	g, _ := New(3)
+	const goroutines, per = 8, 2000
+	ids := make([][]ID, goroutines)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = make([]ID, per)
+			for j := range ids[i] {
+				ids[i][j] = g.Next()
+			}
+		}(i)
+	}
+	wg.Wait()
+	all := make([]ID, 0, goroutines*per)
+	for i := range ids {
+		// Per-goroutine draws must be strictly increasing.
+		for j := 1; j < per; j++ {
+			if ids[i][j] <= ids[i][j-1] {
+				t.Fatalf("goroutine %d not monotonic at %d", i, j)
+			}
+		}
+		all = append(all, ids[i]...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate id %v", all[i])
+		}
+	}
+}

@@ -31,7 +31,6 @@
 package jobstore
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -40,8 +39,6 @@ import (
 	"strings"
 	"sync"
 	"time"
-
-	"ddsim/internal/telemetry"
 )
 
 // Record is the durable form of one accepted submission: the opaque
@@ -112,9 +109,9 @@ const StatusDeleted = "deleted"
 // use.
 type Store struct {
 	dir string
+	wal *WAL
 
 	mu        sync.Mutex
-	wal       *os.File
 	recovered []Recovered
 }
 
@@ -147,21 +144,27 @@ func Open(dir string) (*Store, error) {
 		}
 	}
 	s := &Store{dir: dir}
-	status, err := s.replayWAL()
+	wal, err := OpenWAL(filepath.Join(dir, "wal.log"))
 	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	status := make(map[string]string)
+	if err := wal.Replay(func(line []byte) error {
+		applyStatusLine(status, line)
+		return nil
+	}); err != nil {
+		wal.Close()
 		return nil, err
 	}
 	if err := s.loadRecords(status); err != nil {
+		wal.Close()
 		return nil, err
 	}
-	if err := s.compactWAL(status); err != nil {
+	if err := wal.Compact(compactStatuses); err != nil {
+		wal.Close()
 		return nil, err
 	}
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("jobstore: open wal: %w", err)
-	}
-	s.wal = wal
 	return s, nil
 }
 
@@ -240,109 +243,63 @@ func (s *Store) Delete(id string) error {
 }
 
 // Close closes the WAL handle. The store must not be used afterwards.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil
-	}
-	err := s.wal.Close()
-	s.wal = nil
-	return err
-}
+func (s *Store) Close() error { return s.wal.Close() }
 
 // Compact rewrites the WAL down to one entry per live job, dropping
 // the status-transition history (and delete tombstones) accumulated
 // since the last open or Compact. Open does this once at startup; a
 // long-running server calls Compact periodically (ddsimd schedules it
 // on the timing wheel) so weeks of churn cannot grow the WAL without
-// bound. Crash-safe: the compacted WAL is written atomically, and the
-// append handle is switched to the new file under the store lock.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return fmt.Errorf("jobstore: store is closed")
-	}
-	// Appends hold s.mu and sync before releasing it, so re-reading
-	// the WAL here sees every durable transition.
-	status, err := s.replayWAL()
-	if err != nil {
-		return err
-	}
-	if err := s.compactWAL(status); err != nil {
-		return err
-	}
-	// The old handle now points at the unlinked pre-compaction inode;
-	// switch appends to the new file.
-	old := s.wal
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		// Writes to the unlinked inode would not be durable: fail
-		// closed so appendWAL errors instead of lying.
-		s.wal = nil
-		old.Close()
-		return fmt.Errorf("jobstore: reopen wal after compaction: %w", err)
-	}
-	old.Close()
-	s.wal = wal
-	telemetry.WALCompactions.Inc()
-	return nil
-}
+// bound. Crash-safe: WAL.Compact rewrites atomically under the append
+// lock, so no concurrent transition can fall between replay and
+// rewrite.
+func (s *Store) Compact() error { return s.wal.Compact(compactStatuses) }
 
-func (s *Store) walPath() string          { return filepath.Join(s.dir, "wal.log") }
 func (s *Store) jobPath(id string) string { return filepath.Join(s.dir, "jobs", id+".json") }
 func (s *Store) resultPath(id string) string {
 	return filepath.Join(s.dir, "results", id+".json")
 }
 
-func (s *Store) appendWAL(e walEntry) error {
-	data, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("jobstore: marshal wal entry: %w", err)
-	}
-	data = append(data, '\n')
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return fmt.Errorf("jobstore: store is closed")
-	}
-	if _, err := s.wal.Write(data); err != nil {
-		return fmt.Errorf("jobstore: append wal: %w", err)
-	}
-	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("jobstore: sync wal: %w", err)
-	}
-	telemetry.WALAppends.Inc()
-	return nil
-}
+func (s *Store) appendWAL(e walEntry) error { return s.wal.Append(e) }
 
-// replayWAL reads the WAL and returns the last durable status per
-// job. A torn trailing line (crash mid-append) ends the replay; every
-// line before it is intact because appends are synced in order.
-func (s *Store) replayWAL() (map[string]string, error) {
-	status := make(map[string]string)
-	f, err := os.Open(s.walPath())
-	if os.IsNotExist(err) {
-		return status, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("jobstore: open wal: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		var e walEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			break // torn tail: ignore it and everything after
-		}
-		// Tombstones stay in the map (dropped at compaction) so a
-		// record file whose removal was lost in a crash is not
-		// resurrected by the no-WAL-entry fallback in loadRecords.
+// applyStatusLine folds one WAL line into the last-status map.
+// Tombstones stay in the map (dropped at compaction) so a record file
+// whose removal was lost in a crash is not resurrected by the
+// no-WAL-entry fallback in loadRecords. Lines that are valid JSON but
+// not walEntries are skipped.
+func applyStatusLine(status map[string]string, line []byte) {
+	var e walEntry
+	if err := json.Unmarshal(line, &e); err == nil && e.ID != "" {
 		status[e.ID] = e.Status
 	}
-	return status, nil
+}
+
+// compactStatuses is the WAL.Compact transform: the surviving log is
+// one entry per live job carrying its last durable status, sorted by
+// id; tombstones die here.
+func compactStatuses(lines [][]byte) ([][]byte, error) {
+	status := make(map[string]string)
+	for _, line := range lines {
+		applyStatusLine(status, line)
+	}
+	var ids []string
+	for id, st := range status {
+		if st == StatusDeleted {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([][]byte, 0, len(ids))
+	now := time.Now().UTC()
+	for _, id := range ids {
+		line, err := json.Marshal(walEntry{ID: id, Status: status[id], Time: now})
+		if err != nil {
+			return nil, fmt.Errorf("jobstore: compact wal: %w", err)
+		}
+		out = append(out, line)
+	}
+	return out, nil
 }
 
 // loadRecords builds the recovery snapshot from the job files and the
@@ -409,65 +366,4 @@ func (s *Store) loadFinal(id string) *Final {
 		return nil
 	}
 	return &f
-}
-
-// compactWAL rewrites the WAL to one entry per live job, atomically,
-// dropping the history (and any tombstones) accumulated since the
-// last open.
-func (s *Store) compactWAL(status map[string]string) error {
-	var ids []string
-	for id, st := range status {
-		if st == StatusDeleted {
-			continue // tombstones die at compaction
-		}
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	var buf []byte
-	now := time.Now().UTC()
-	for _, id := range ids {
-		line, err := json.Marshal(walEntry{ID: id, Status: status[id], Time: now})
-		if err != nil {
-			return fmt.Errorf("jobstore: compact wal: %w", err)
-		}
-		buf = append(buf, line...)
-		buf = append(buf, '\n')
-	}
-	return atomicWrite(s.walPath(), buf)
-}
-
-// atomicWrite writes data to path crash-safely: temp file in the same
-// directory, fsync, rename over the target, fsync the directory.
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("jobstore: %w", err)
-	}
-	tmpName := tmp.Name()
-	cleanup := func() {
-		tmp.Close()
-		os.Remove(tmpName)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		cleanup()
-		return fmt.Errorf("jobstore: write %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		cleanup()
-		return fmt.Errorf("jobstore: sync %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("jobstore: close %s: %w", path, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("jobstore: rename %s: %w", path, err)
-	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
 }

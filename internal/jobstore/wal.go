@@ -1,0 +1,197 @@
+package jobstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ddsim/internal/telemetry"
+)
+
+// WAL is a reusable crash-safe append-only log of JSON lines: one
+// marshalled value per line, fsync'd after every append, tolerant of a
+// torn final line on replay (the signature of a crash mid-append), and
+// compactable by atomic rewrite. It is the durability primitive behind
+// both the job store and the cluster coordinator's lease journal.
+//
+// A WAL is safe for concurrent use; Compact serialises against Append
+// so no entry can fall between the replay and the rewrite.
+type WAL struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenWAL opens (creating if necessary) the WAL at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open wal: %w", err)
+	}
+	return &WAL{path: path, f: f}, nil
+}
+
+// Path returns the WAL's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append marshals v, appends it as one line and syncs the file. After
+// Append returns, the entry survives kill -9.
+func (w *WAL) Append(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("jobstore: marshal wal entry: %w", err)
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("jobstore: wal is closed")
+	}
+	if _, err := w.f.Write(data); err != nil {
+		return fmt.Errorf("jobstore: append wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: sync wal: %w", err)
+	}
+	telemetry.WALAppends.Inc()
+	return nil
+}
+
+// Replay reads the log from the start and calls fn with every intact
+// line, in order. Replay stops silently at the first line that is not
+// valid JSON — appends are synced in order, so only a torn tail can
+// produce one, and everything after it is untrustworthy. An error from
+// fn aborts the replay and is returned.
+func (w *WAL) Replay(fn func(line []byte) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lines, err := w.readLines()
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact atomically rewrites the log: transform receives every intact
+// line currently in the log and returns the lines (without trailing
+// newlines) the new log should contain. The rewrite happens under the
+// append lock, so entries appended concurrently are either visible to
+// transform or blocked until the new log is in place — never lost.
+func (w *WAL) Compact(transform func(lines [][]byte) ([][]byte, error)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("jobstore: wal is closed")
+	}
+	lines, err := w.readLines()
+	if err != nil {
+		return err
+	}
+	out, err := transform(lines)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, line := range out {
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := atomicWrite(w.path, buf); err != nil {
+		return err
+	}
+	// The old handle now points at the unlinked pre-compaction inode;
+	// switch appends to the new file.
+	old := w.f
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Writes to the unlinked inode would not be durable: fail
+		// closed so Append errors instead of lying.
+		w.f = nil
+		old.Close()
+		return fmt.Errorf("jobstore: reopen wal after compaction: %w", err)
+	}
+	old.Close()
+	w.f = f
+	telemetry.WALCompactions.Inc()
+	return nil
+}
+
+// Close closes the append handle. The WAL must not be used afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// readLines returns every intact line, stopping at a torn tail.
+// Callers hold w.mu.
+func (w *WAL) readLines() ([][]byte, error) {
+	f, err := os.Open(w.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open wal: %w", err)
+	}
+	defer f.Close()
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			break // torn tail: ignore it and everything after
+		}
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	return lines, nil
+}
+
+// atomicWrite writes data to path crash-safely: temp file in the same
+// directory, fsync, rename over the target, fsync the directory.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("jobstore: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("jobstore: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobstore: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobstore: rename %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package stochastic
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/ddback"
+	"ddsim/internal/noise"
+	"ddsim/internal/sim"
+	"ddsim/internal/statevec"
+)
+
+// partialJob is a job that exercises every accumulator field: sampled
+// counts, a classical histogram (measurements), tracked float sums and
+// the fidelity sum.
+func partialJob(runs int) Job {
+	c := circuit.GHZ(5)
+	c.Measure(4, 0)
+	return Job{
+		Circuit: c,
+		Model:   noise.Model{Depolarizing: 0.01, Damping: 0.02, PhaseFlip: 0.01},
+		Opts: Options{
+			Runs:        runs,
+			Seed:        42,
+			Shots:       2,
+			ChunkSize:   16,
+			TrackStates: []uint64{0, 31},
+		},
+	}
+}
+
+func TestPlanChunks(t *testing.T) {
+	plan, err := PlanChunks(partialJob(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Target != 100 || plan.ChunkSize != 16 || plan.NumChunks != 7 {
+		t.Fatalf("unexpected plan %+v", plan)
+	}
+	if got := plan.ChunkRuns(0); got != 16 {
+		t.Errorf("chunk 0 runs = %d, want 16", got)
+	}
+	if got := plan.ChunkRuns(6); got != 4 {
+		t.Errorf("last chunk runs = %d, want 4", got)
+	}
+	if _, err := PlanChunks(Job{}); err == nil {
+		t.Error("nil circuit accepted")
+	}
+}
+
+// TestRunChunksReduceBitIdentical is the distribution-seam invariant:
+// chunks computed in separate RunChunks calls (as remote workers
+// would), serialised through JSON (as the cluster wire format does)
+// and merged in chunk order reproduce a single-node same-seed Run bit
+// for bit — on both backends, including the fidelity estimator.
+func TestRunChunksReduceBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factory sim.Factory
+	}{
+		{"dd", ddback.Factory()},
+		{"statevec", statevec.Factory()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			job := partialJob(100)
+			job.Opts.TrackFidelity = true
+			factory := tc.factory
+
+			single, err := Run(job.Circuit, factory, job.Model, job.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			plan, err := PlanChunks(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Three uneven "workers", each with its own RunChunks call
+			// (its own backend, RNG and checkpoint state).
+			ranges := [][2]int{{0, 3}, {3, 1}, {4, plan.NumChunks - 4}}
+			sums := make([]ChunkSum, 0, plan.NumChunks)
+			for _, r := range ranges {
+				part, err := RunChunks(context.Background(), factory, job, r[0], r[1], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Wire round trip: the cluster protocol ships sums as
+				// JSON; bit-exactness must survive it.
+				data, err := json.Marshal(part)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var back []ChunkSum
+				if err := json.Unmarshal(data, &back); err != nil {
+					t.Fatal(err)
+				}
+				sums = append(sums, back...)
+			}
+			merged, err := ReduceChunks(job, sums, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, tc.name, single, merged)
+			if single.ConfidenceRadius != merged.ConfidenceRadius {
+				t.Errorf("radius %v vs %v", single.ConfidenceRadius, merged.ConfidenceRadius)
+			}
+			if merged.TargetRuns != single.TargetRuns || merged.Properties != single.Properties {
+				t.Errorf("plan fields differ: %+v vs %+v", merged, single)
+			}
+		})
+	}
+}
+
+func TestRunChunksValidation(t *testing.T) {
+	job := partialJob(100)
+	f := ddback.Factory()
+	if _, err := RunChunks(context.Background(), f, job, -1, 1, nil); err == nil {
+		t.Error("negative first accepted")
+	}
+	if _, err := RunChunks(context.Background(), f, job, 0, 0, nil); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := RunChunks(context.Background(), f, job, 6, 2, nil); err == nil {
+		t.Error("range past plan accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunChunks(ctx, f, job, 0, 2, nil); err == nil {
+		t.Error("cancelled context produced sums")
+	}
+}
+
+func TestRunChunksProgressCallback(t *testing.T) {
+	job := partialJob(64)
+	var ticks []int
+	sums, err := RunChunks(context.Background(), ddback.Factory(), job, 0, 4, func(done int) {
+		ticks = append(ticks, done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("got %d sums", len(sums))
+	}
+	if len(ticks) != 4 || ticks[3] != 4 {
+		t.Errorf("progress ticks %v", ticks)
+	}
+}
+
+func TestReduceChunksRejectsBadSums(t *testing.T) {
+	job := partialJob(100)
+	f := ddback.Factory()
+	sums, err := RunChunks(context.Background(), f, job, 0, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReduceChunks(job, sums[:6], 1); err == nil {
+		t.Error("missing chunk accepted")
+	}
+	swapped := append([]ChunkSum(nil), sums...)
+	swapped[2], swapped[3] = swapped[3], swapped[2]
+	if _, err := ReduceChunks(job, swapped, 1); err == nil {
+		t.Error("out-of-order chunks accepted")
+	}
+	dup := append([]ChunkSum(nil), sums...)
+	dup[3] = dup[2]
+	if _, err := ReduceChunks(job, dup, 1); err == nil {
+		t.Error("duplicated chunk accepted")
+	}
+	short := append([]ChunkSum(nil), sums...)
+	short[1].Runs--
+	if _, err := ReduceChunks(job, short, 1); err == nil {
+		t.Error("short chunk accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+// Distributed-coordinator instruments (internal/cluster). All live in
+// the Default registry.
+var (
+	// ClusterLeasesGranted counts leases granted by coordinators,
+	// including reclaim grants after expiry.
+	ClusterLeasesGranted = NewCounter("ddsim_cluster_leases_granted_total",
+		"Chunk-range leases granted by the coordinator.")
+
+	// ClusterLeaseRenewals counts successful heartbeat renewals.
+	ClusterLeaseRenewals = NewCounter("ddsim_cluster_lease_renewals_total",
+		"Lease deadline extensions from successful heartbeats.")
+
+	// ClusterLeasesExpired counts leases that passed their deadline
+	// and were reclaimed, and ClusterReassignments the resulting
+	// re-grants of the same part (currently 1:1 with expiries; kept
+	// separate so voluntary-release reassignment can diverge).
+	ClusterLeasesExpired = NewCounter("ddsim_cluster_leases_expired_total",
+		"Leases reclaimed after missing their heartbeat deadline.")
+	ClusterReassignments = NewCounter("ddsim_cluster_reassignments_total",
+		"Parts re-leased to another worker after a lease was lost.")
+
+	// ClusterStaleCompletions counts completions rejected by the
+	// fencing token — deliveries from a worker whose lease was
+	// reassigned (or whose part already completed).
+	ClusterStaleCompletions = NewCounter("ddsim_cluster_stale_completions_total",
+		"Chunk completions rejected by lease fencing.")
+
+	// ClusterWorkerFailures counts worker RPC failures seen by
+	// coordinator drivers (connection refused, non-2xx, bad body).
+	ClusterWorkerFailures = NewCounter("ddsim_cluster_worker_failures_total",
+		"Failed coordinator-to-worker RPCs.")
+
+	// ClusterPartsCompleted counts parts accepted by the lease table
+	// exactly once each.
+	ClusterPartsCompleted = NewCounter("ddsim_cluster_parts_completed_total",
+		"Chunk-range parts accepted by the coordinator.")
+
+	// ClusterChunksComputed counts chunks computed in worker mode.
+	ClusterChunksComputed = NewCounter("ddsim_cluster_chunks_computed_total",
+		"Trajectory chunks computed by this process in worker mode.")
+
+	// ClusterWorkerRequests counts worker-side requests by phase
+	// (endpoint): lease, heartbeat, complete.
+	ClusterWorkerRequests = NewCounterVec("ddsim_cluster_worker_requests_total",
+		"Worker-mode requests served, by endpoint.", "endpoint")
+
+	// ClusterLeaseSeconds distributes the grant-to-completion time of
+	// accepted leases.
+	ClusterLeaseSeconds = NewHistogram("ddsim_cluster_lease_seconds",
+		"Grant-to-completion time of accepted leases.",
+		LogBuckets(1e-3, 1e3, 5))
+)
