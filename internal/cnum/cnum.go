@@ -12,10 +12,15 @@
 // stored value returns the stored representative.
 //
 // Like the C++ package the paper builds on, the table is a custom
-// chained hash table over tolerance-grid cells (not a Go map): weight
+// hash table over tolerance-grid cells (not a Go map): weight
 // interning sits on the innermost simulation loop, and the home-cell
 // fast path plus cheap integer hashing are what keep it off the
-// profile.
+// profile. Two lookup planes implement the same cell semantics: the
+// default open-addressing swiss table (internal/swiss) and the
+// original chained-bucket table, kept behind DDSIM_DD_TABLES=chained.
+// Both resolve tolerance ties identically — cells are scanned in the
+// same order and hold their values newest first — so the differential
+// suites can demand bit-identical simulation results across planes.
 package cnum
 
 import (
@@ -81,9 +86,15 @@ func trimFloat(f float64) string {
 // create one with NewTable. Tables are not safe for concurrent use;
 // the simulator gives every worker its own table (and DD package).
 type Table struct {
+	// Exactly one lookup plane is active, chosen at construction from
+	// DDSIM_DD_TABLES (see SwissTables): the open-addressing cell
+	// table (cells) or the legacy chained buckets.
+	swissOn bool
+	cells   cellTable
 	buckets []*Value
-	count   int
-	nextID  uint32
+
+	count  int
+	nextID uint32
 
 	// Arena storage (see ArenaEnabled): values live in append-only
 	// slabs whose backing arrays never move, and Sweep recycles dead
@@ -118,15 +129,40 @@ func NewTable() *Table { return NewTableTol(Tolerance) }
 // density-matrix results carry no visible interning error, while the
 // stochastic engine keeps the JKU default for maximal node sharing.
 func NewTableTol(tol float64) *Table {
+	return newTableTolOpts(tol, SwissTables(), ArenaEnabled())
+}
+
+// newTableTolOpts is the injectable constructor behind NewTableTol:
+// the differential tests and FuzzInternTol build both lookup planes
+// side by side regardless of the process environment.
+func newTableTolOpts(tol float64, swissOn, recycle bool) *Table {
 	if tol <= 0 {
 		panic("cnum: tolerance must be positive")
 	}
-	t := &Table{buckets: make([]*Value, 1<<12), nextID: 1, tol: tol, cell: 4 * tol,
-		recycle: ArenaEnabled()}
+	t := &Table{nextID: 1, tol: tol, cell: 4 * tol,
+		swissOn: swissOn, recycle: recycle}
+	if swissOn {
+		if recycle {
+			t.cells = getCellTable()
+		} else {
+			t.cells = newCellTable(minCellGroups)
+		}
+	} else {
+		t.buckets = make([]*Value, 1<<12)
+	}
 	t.Zero = t.Lookup(0, 0)
 	t.One = t.Lookup(1, 0)
 	return t
 }
+
+// SwissTables reports whether the open-addressing swiss-table lookup
+// plane is active for the DD kernel (this package's weight-interning
+// cell table and internal/dd's unique tables). It is on unless the
+// DDSIM_DD_TABLES environment variable is set to "chained" — the
+// escape hatch that keeps the legacy chained tables differentially
+// testable forever, read once at Table/Package construction exactly
+// like DDSIM_DD_ARENA.
+func SwissTables() bool { return os.Getenv("DDSIM_DD_TABLES") != "chained" }
 
 // ArenaEnabled reports whether the value arena (slab allocation, free-
 // list recycling on Sweep, slab pooling on Release) is active. It is on
@@ -212,6 +248,10 @@ func (t *Table) Release() {
 		valueSlabPool.Put(&s)
 	}
 	t.slabs, t.free, t.buckets = nil, nil, nil
+	if t.swissOn {
+		putCellTable(&t.cells)
+	}
+	t.cells = cellTable{}
 	t.Zero, t.One = nil, nil
 }
 
@@ -268,10 +308,14 @@ func (t *Table) bucketIndex(qr, qi int64) uint64 {
 
 // findInCell scans one grid cell's chain for a match. Chains mix
 // values from all cells hashing to the bucket, so the cell is
-// re-derived from each candidate's coordinates.
+// re-derived from each candidate's coordinates and only true members
+// of the probed cell are considered — the swiss cell table probes
+// exactly one cell at a time, and the two implementations must resolve
+// tolerance ties identically for the differential suites to hold.
 func (t *Table) findInCell(qr, qi int64, re, im float64) *Value {
 	for v := t.buckets[t.bucketIndex(qr, qi)]; v != nil; v = v.next {
-		if t.closeEnough(v.re, re) && t.closeEnough(v.im, im) {
+		if t.quantize(v.re) == qr && t.quantize(v.im) == qi &&
+			t.closeEnough(v.re, re) && t.closeEnough(v.im, im) {
 			return v
 		}
 	}
@@ -292,6 +336,9 @@ func (t *Table) Lookup(re, im float64) *Value {
 	t.lookups++
 
 	qr, qi := t.quantize(re), t.quantize(im)
+	if t.swissOn {
+		return t.lookupSwiss(qr, qi, re, im)
+	}
 	// Fast path: the home cell (repeat lookups of the same value).
 	if v := t.findInCell(qr, qi, re, im); v != nil {
 		t.hits++
@@ -332,23 +379,40 @@ func (t *Table) Lookup(re, im float64) *Value {
 }
 
 // grow doubles the bucket array and rehashes every value into the
-// bucket of its own grid cell.
+// bucket of its own grid cell. Chains are rebuilt order-preserving
+// (tail append, not head prepend): within-cell order is the tie
+// breaker of tolerance matching, and both lookup planes maintain it as
+// newest-value-first so their results stay bit-identical.
 func (t *Table) grow() {
 	old := t.buckets
 	t.buckets = make([]*Value, len(old)*2)
-	for _, chain := range old {
+	for i, chain := range old {
+		// Doubling splits bucket i into buckets i and i+len(old).
+		var lo, hi *Value
+		loTail, hiTail := &lo, &hi
 		for v := chain; v != nil; {
 			next := v.next
-			idx := t.bucketIndex(t.quantize(v.re), t.quantize(v.im))
-			v.next = t.buckets[idx]
-			t.buckets[idx] = v
+			v.next = nil
+			if t.bucketIndex(t.quantize(v.re), t.quantize(v.im)) == uint64(i) {
+				*loTail = v
+				loTail = &v.next
+			} else {
+				*hiTail = v
+				hiTail = &v.next
+			}
 			v = next
 		}
+		t.buckets[i] = lo
+		t.buckets[i+len(old)] = hi
 	}
 }
 
 // BeginMark clears all mark bits in preparation for a sweep.
 func (t *Table) BeginMark() {
+	if t.swissOn {
+		t.forEachValueSwiss(func(v *Value) { v.marked = false })
+		return
+	}
 	for _, chain := range t.buckets {
 		for v := chain; v != nil; v = v.next {
 			v.marked = false
@@ -374,28 +438,41 @@ func (t *Table) Mark(v *Value) {
 // NaNs so such a bug surfaces as a loud non-finite-value panic instead
 // of silent corruption.
 func (t *Table) Sweep() int {
+	if t.swissOn {
+		return t.sweepSwiss()
+	}
 	dropped := 0
 	for i, chain := range t.buckets {
+		// Survivors are re-linked order-preserving (see grow).
 		var keep *Value
+		tail := &keep
 		for v := chain; v != nil; {
 			next := v.next
 			if v.marked || v.pins > 0 || v == t.Zero || v == t.One {
-				v.next = keep
-				keep = v
+				*tail = v
+				v.next = nil
+				tail = &v.next
 			} else {
 				dropped++
 				t.count--
-				if t.recycle {
-					v.re, v.im = math.NaN(), math.NaN()
-					v.next = t.free
-					t.free = v
-				}
+				t.retire(v)
 			}
 			v = next
 		}
 		t.buckets[i] = keep
 	}
 	return dropped
+}
+
+// retire disposes one swept value: with the arena enabled the slot is
+// NaN-poisoned and pushed on the free list for recycling; without it
+// the value is simply dropped to the Go collector.
+func (t *Table) retire(v *Value) {
+	if t.recycle {
+		v.re, v.im = math.NaN(), math.NaN()
+		v.next = t.free
+		t.free = v
+	}
 }
 
 // snap collapses values numerically indistinguishable from the exact

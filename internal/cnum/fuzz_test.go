@@ -1,0 +1,94 @@
+package cnum
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzInternTol feeds one lookup sequence to both lookup planes (swiss
+// and chained) and demands bit-identical representatives. For every
+// fuzzed value it also probes boundary-straddling derivatives — ±tol/2
+// (must alias), ±2·tol (must not), ±(cell−tol/2) (adjacent grid cell,
+// reachable only through the neighbour probe) — which is exactly where
+// a semantic divergence between the planes would hide. Periodic
+// identical mark/sweep rounds exercise chain filtering and the
+// tombstone-free rebuild mid-sequence.
+//
+// The seed corpus covers the near-underflow scales of
+// zeroweight_test.go (1e-4 … 1e-6 amplitude factors, whose products
+// land around the 1e-10 default tolerance) and direct tolerance-grid
+// multiples.
+func FuzzInternTol(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	// zeroweight_test.go near-underflow scales and their pairwise
+	// products straddling the default tolerance.
+	f.Add(seed(1e-4, -1e-4, 1e-5, 1e-5, 3e-6, -3e-6, 1e-6, 1e-6))
+	f.Add(seed(1e-4*1e-5, 1e-5*1e-5, 3e-6*3e-6, 1e-6*1e-6, 1e-4*3e-6, -1e-5*3e-6))
+	// Tolerance-grid multiples: cell boundaries (4·tol) and half-cells.
+	f.Add(seed(4e-10, 8e-10, 2e-10, 6e-10, -4e-10, -2e-10, 1e-10, 5e-11))
+	// Snap targets and their neighbourhoods.
+	f.Add(seed(0, 1, -1, math.Sqrt2/2, -math.Sqrt2/2, 1+5e-11, math.Sqrt2/2-5e-11, 1e-11))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tol := range []float64{Tolerance, 1e-14} {
+			sw := newTableTolOpts(tol, true, true)
+			ch := newTableTolOpts(tol, false, true)
+			cell := 4 * tol
+			var swVals, chVals []*Value
+			probe := func(re, im float64) {
+				if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+					return
+				}
+				a := sw.Lookup(re, im)
+				b := ch.Lookup(re, im)
+				if math.Float64bits(a.Re()) != math.Float64bits(b.Re()) ||
+					math.Float64bits(a.Im()) != math.Float64bits(b.Im()) {
+					t.Fatalf("tol=%g Lookup(%g,%g): swiss %v%+vi, chained %v%+vi",
+						tol, re, im, a.Re(), a.Im(), b.Re(), b.Im())
+				}
+				swVals = append(swVals, a)
+				chVals = append(chVals, b)
+			}
+			var vals []float64
+			for i := 0; i+8 <= len(data); i += 8 {
+				vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+			}
+			for i, re := range vals {
+				im := 0.0
+				if i+1 < len(vals) {
+					im = vals[i+1]
+				}
+				probe(re, im)
+				for _, d := range []float64{tol / 2, -tol / 2, 2 * tol, -2 * tol, cell - tol/2, -(cell - tol/2)} {
+					probe(re+d, im)
+					probe(re, im+d)
+					probe(re+d, im-d)
+				}
+				// Identical mark/sweep rounds partway through: keep every
+				// other interned value alive in both planes, then keep
+				// interning into the (partly recycled) tables.
+				if i%5 == 4 {
+					sw.BeginMark()
+					ch.BeginMark()
+					for j := 0; j < len(swVals); j += 2 {
+						sw.Mark(swVals[j])
+						ch.Mark(chVals[j])
+					}
+					if ds, dc := sw.Sweep(), ch.Sweep(); ds != dc {
+						t.Fatalf("tol=%g: sweep dropped %d (swiss) vs %d (chained)", tol, ds, dc)
+					}
+					swVals, chVals = swVals[:0], chVals[:0]
+				}
+			}
+			if sw.Count() != ch.Count() {
+				t.Fatalf("tol=%g: swiss holds %d values, chained %d", tol, sw.Count(), ch.Count())
+			}
+		}
+	})
+}

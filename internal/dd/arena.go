@@ -27,6 +27,8 @@ package dd
 
 import (
 	"sync"
+
+	"ddsim/internal/swiss"
 )
 
 // nodeSlabSize is the number of nodes per arena slab (VNode slabs are
@@ -79,6 +81,44 @@ func newCacheSet() *cacheSet {
 
 var cacheSetPool = sync.Pool{
 	New: func() interface{} { return newCacheSet() },
+}
+
+// vTablePool/mTablePool recycle minimum-geometry swiss unique tables
+// across Package lifetimes (arena mode only, same rationale as the
+// cell-directory pool in cnum): short jobs compile a fresh Package per
+// worker, and the initial table arrays would otherwise be re-allocated
+// every time. Grown tables are dropped to the Go collector.
+var vTablePool = sync.Pool{
+	New: func() interface{} {
+		t := newVTable(minVGroups)
+		return &t
+	},
+}
+
+var mTablePool = sync.Pool{
+	New: func() interface{} {
+		t := newMTable(minMGroups)
+		return &t
+	},
+}
+
+func putNodeTables(vt *vTable, mt *mTable) {
+	if len(vt.ctrl) == minVGroups {
+		for i := range vt.ctrl {
+			vt.ctrl[i] = swiss.EmptyWord
+		}
+		clear(vt.slots)
+		t := *vt
+		vTablePool.Put(&t)
+	}
+	if len(mt.ctrl) == minMGroups {
+		for i := range mt.ctrl {
+			mt.ctrl[i] = swiss.EmptyWord
+		}
+		clear(mt.slots)
+		t := *mt
+		mTablePool.Put(&t)
+	}
 }
 
 // allocVNode materialises a vector node: from the free list (recycled
@@ -184,5 +224,9 @@ func (p *Package) Release() {
 	p.vSlabs, p.mSlabs = nil, nil
 	p.vFree, p.mFree = nil, nil
 	p.vBuckets, p.mBuckets = nil, nil
+	if p.swissOn {
+		putNodeTables(&p.vt, &p.mt)
+	}
+	p.vt, p.mt = vTable{}, mTable{}
 	p.W.Release()
 }

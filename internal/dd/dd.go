@@ -19,11 +19,14 @@
 //     propagated to the incoming edge;
 //   - equal sub-diagrams are identified structurally in the unique
 //     table, so equality of diagrams is pointer equality of edges;
-//   - unique tables are custom chained hash tables over small integer
-//     node/weight IDs, and compute tables are fixed-size direct-mapped
-//     caches (lossy, overwrite on collision) — the same engineering
-//     that makes the C++ package fast, because generic hash maps on
-//     the innermost loop dominate the profile otherwise.
+//   - unique tables are custom hash tables over small integer
+//     node/weight IDs — by default open-addressing swiss tables with
+//     control-byte group probing (internal/swiss; the original chained
+//     buckets remain behind DDSIM_DD_TABLES=chained) — and compute
+//     tables are fixed-size direct-mapped caches (lossy, overwrite on
+//     collision) — the same engineering that makes the C++ package
+//     fast, because generic hash maps on the innermost loop dominate
+//     the profile otherwise.
 //
 // A Package is deliberately NOT safe for concurrent use. The
 // stochastic simulator (internal/stochastic) exploits concurrency
@@ -210,6 +213,15 @@ type Package struct {
 
 	nQubits int
 
+	// Unique tables. Exactly one lookup plane is active, chosen at
+	// construction (cnum.SwissTables, i.e. DDSIM_DD_TABLES): the
+	// open-addressing swiss tables vt/mt (default, see swisstable.go)
+	// or the chained bucket arrays vBuckets/mBuckets
+	// (DDSIM_DD_TABLES=chained). vCount/mCount track the live
+	// population in either plane.
+	swissOn  bool
+	vt       vTable
+	mt       mTable
 	vBuckets []*VNode
 	vCount   int
 	nextVID  uint32
@@ -263,6 +275,14 @@ type Package struct {
 	// dot, conjugate-transpose, norm and probability).
 	uLookups, uHits uint64
 	cLookups, cHits uint64
+	cConflicts      uint64
+
+	// Probe-length telemetry for the unique tables (see noteProbe):
+	// probeHist[i] counts probes of length i+1, the last bucket
+	// absorbing longer ones; maxProbe is the longest probe observed
+	// over the package's lifetime, across both tables.
+	probeHist [9]uint64
+	maxProbe  int
 }
 
 // Stats is a snapshot of a package's table statistics — the inputs to
@@ -275,16 +295,39 @@ type Stats struct {
 	// NodesCreated counts vector nodes ever created, PeakVNodes the
 	// high-water mark of the live population, GCRuns the collections.
 	NodesCreated, PeakVNodes, GCRuns int
-	// UniqueLookups/UniqueHits: hash-consing probes that found an
-	// existing node. ComputeLookups/ComputeHits: memoisation-cache
-	// probes that hit.
+	// UniqueLookups counts every makeVNode/makeMNode hash-consing
+	// probe of this package (vector and matrix tables combined);
+	// UniqueHits the subset that found an existing node. Both are
+	// per-Package lifetime totals: they accumulate monotonically from
+	// construction, survive GarbageCollect (a collection removes
+	// nodes, not history) and are independent of the active lookup
+	// plane — migrating between the swiss and chained tables changes
+	// probe cost, not what counts as a lookup or a hit.
+	// ComputeLookups/ComputeHits: memoisation-cache probes that hit.
 	UniqueLookups, UniqueHits   uint64
 	ComputeLookups, ComputeHits uint64
+	// ComputeConflicts counts the compute-cache misses that evicted a
+	// resident entry (the slot held a different key) rather than
+	// filling an empty slot — the conflict-miss rate of the
+	// direct-mapped caches, which is the number that would justify
+	// set-associative caches. Counted on the miss path only, so the
+	// hot hit path is untouched.
+	ComputeConflicts uint64
+	// UniqueProbe is the unique-table probe-length histogram:
+	// UniqueProbe[i] counts probes that examined i+1 control-word
+	// groups (swiss plane) or chain nodes (chained plane), with the
+	// last bucket absorbing longer probes. UniqueMaxProbe is the
+	// longest probe ever observed; UniqueLoad the current resident
+	// fraction of the table's slot capacity. Together they are the
+	// evidence that rehash-on-load keeps lookups at one cache line.
+	UniqueProbe    [9]uint64
+	UniqueMaxProbe int
+	UniqueLoad     float64
 }
 
 // Stats returns the package's current table statistics.
 func (p *Package) Stats() Stats {
-	return Stats{
+	s := Stats{
 		VNodes:         p.vCount,
 		MNodes:         p.mCount,
 		Weights:        p.W.Count(),
@@ -293,9 +336,20 @@ func (p *Package) Stats() Stats {
 		GCRuns:         p.gcRuns,
 		UniqueLookups:  p.uLookups,
 		UniqueHits:     p.uHits,
-		ComputeLookups: p.cLookups,
-		ComputeHits:    p.cHits,
+		ComputeLookups:   p.cLookups,
+		ComputeHits:      p.cHits,
+		ComputeConflicts: p.cConflicts,
+		UniqueProbe:    p.probeHist,
+		UniqueMaxProbe: p.maxProbe,
 	}
+	if p.swissOn {
+		if slots := len(p.vt.slots) + len(p.mt.slots); slots > 0 {
+			s.UniqueLoad = float64(p.vCount+p.mCount) / float64(slots)
+		}
+	} else if slots := len(p.vBuckets) + len(p.mBuckets); slots > 0 {
+		s.UniqueLoad = float64(p.vCount+p.mCount) / float64(slots)
+	}
+	return s
 }
 
 // NewPackage creates a package for registers of exactly n qubits
@@ -317,13 +371,24 @@ func NewPackageTol(n int, tol float64) *Package {
 	p := &Package{
 		W:            cnum.NewTableTol(tol),
 		nQubits:      n,
-		vBuckets:     make([]*VNode, 1<<12),
-		mBuckets:     make([]*MNode, 1<<10),
 		nextVID:      1,
 		nextMID:      1,
 		gcThreshold:  250000,
 		wGCThreshold: 400000,
 		recycle:      cnum.ArenaEnabled(),
+		swissOn:      cnum.SwissTables(),
+	}
+	if p.swissOn {
+		if p.recycle {
+			p.vt = *vTablePool.Get().(*vTable)
+			p.mt = *mTablePool.Get().(*mTable)
+		} else {
+			p.vt = newVTable(minVGroups)
+			p.mt = newMTable(minMGroups)
+		}
+	} else {
+		p.vBuckets = make([]*VNode, 1<<12)
+		p.mBuckets = make([]*MNode, 1<<10)
 	}
 	p.allocCaches()
 	return p
@@ -415,20 +480,29 @@ func (p *Package) factorSlice() []*Mat2 {
 	return p.factorScratch
 }
 
-func (p *Package) vBucketIndex(level int, e0, e1 VEdge) uint64 {
-	h := mixHash(uint64(level),
+// vHash hashes a vector node key (level, child ids, normalised weight
+// ids) — full width, shared by both lookup planes.
+func (p *Package) vHash(level int, e0, e1 VEdge) uint64 {
+	return mixHash(uint64(level),
 		uint64(vid(e0.N)), uint64(e0.W.ID()),
 		uint64(vid(e1.N)), uint64(e1.W.ID()))
-	return h & uint64(len(p.vBuckets)-1)
 }
 
-func (p *Package) mBucketIndex(level int, e [4]MEdge) uint64 {
-	h := mixHash(uint64(level),
+// mHash is the matrix analogue of vHash.
+func (p *Package) mHash(level int, e [4]MEdge) uint64 {
+	return mixHash(uint64(level),
 		uint64(mid(e[0].N)), uint64(e[0].W.ID()),
 		uint64(mid(e[1].N)), uint64(e[1].W.ID()),
 		uint64(mid(e[2].N)), uint64(e[2].W.ID()),
 		uint64(mid(e[3].N)), uint64(e[3].W.ID()))
-	return h & uint64(len(p.mBuckets)-1)
+}
+
+func (p *Package) vBucketIndex(level int, e0, e1 VEdge) uint64 {
+	return p.vHash(level, e0, e1) & uint64(len(p.vBuckets)-1)
+}
+
+func (p *Package) mBucketIndex(level int, e [4]MEdge) uint64 {
+	return p.mHash(level, e) & uint64(len(p.mBuckets)-1)
 }
 
 // makeVNode normalises and hash-conses a vector node at the given
@@ -460,14 +534,42 @@ func (p *Package) makeVNode(level int, e0, e1 VEdge) VEdge {
 	w1 := p.W.Div(e1.W, top)
 
 	p.uLookups++
+	if p.swissOn {
+		h := p.vHash(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
+		hit, plen, slot := p.vt.find(h, level, e0.N, w0, e1.N, w1)
+		p.noteProbe(plen)
+		if hit != nil {
+			p.uHits++
+			return VEdge{N: hit, W: top}
+		}
+		n := p.allocVNode()
+		n.E[0] = VEdge{N: e0.N, W: w0}
+		n.E[1] = VEdge{N: e1.N, W: w1}
+		n.Level = level
+		if p.vCount >= p.vt.growAt {
+			p.rehashV(p.vt.chainLive(), p.vCount+1)
+			p.vt.insert(h, n) // the rehash moved the insertion point
+		} else {
+			p.vt.place(slot, h, n)
+		}
+		p.vCount++
+		if p.vCount > p.peakVNodes {
+			p.peakVNodes = p.vCount
+		}
+		return VEdge{N: n, W: top}
+	}
 	idx := p.vBucketIndex(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
+	steps := 1
 	for n := p.vBuckets[idx]; n != nil; n = n.next {
 		if n.Level == level && n.E[0].N == e0.N && n.E[0].W == w0 &&
 			n.E[1].N == e1.N && n.E[1].W == w1 {
 			p.uHits++
+			p.noteProbe(steps)
 			return VEdge{N: n, W: top}
 		}
+		steps++
 	}
+	p.noteProbe(steps)
 	if p.vCount >= len(p.vBuckets)*2 {
 		p.growV()
 		idx = p.vBucketIndex(level, VEdge{e0.N, w0}, VEdge{e1.N, w1})
@@ -525,13 +627,37 @@ func (p *Package) makeMNode(level int, e [4]MEdge) MEdge {
 	}
 
 	p.uLookups++
+	if p.swissOn {
+		h := p.mHash(level, norm)
+		hit, plen, slot := p.mt.find(h, level, norm)
+		p.noteProbe(plen)
+		if hit != nil {
+			p.uHits++
+			return MEdge{N: hit, W: top}
+		}
+		n := p.allocMNode()
+		n.E = norm
+		n.Level = level
+		if p.mCount >= p.mt.growAt {
+			p.rehashM(p.mt.chainLive(), p.mCount+1)
+			p.mt.insert(h, n)
+		} else {
+			p.mt.place(slot, h, n)
+		}
+		p.mCount++
+		return MEdge{N: n, W: top}
+	}
 	idx := p.mBucketIndex(level, norm)
+	steps := 1
 	for n := p.mBuckets[idx]; n != nil; n = n.next {
 		if n.Level == level && n.E == norm {
 			p.uHits++
+			p.noteProbe(steps)
 			return MEdge{N: n, W: top}
 		}
+		steps++
 	}
+	p.noteProbe(steps)
 	if p.mCount >= len(p.mBuckets)*2 {
 		p.growM()
 		idx = p.mBucketIndex(level, norm)

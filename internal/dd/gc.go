@@ -104,7 +104,30 @@ func unrefM(n *MNode) {
 // GarbageCollect sweeps all unreferenced nodes from the unique tables
 // and clears every compute table and cache. Diagrams not pinned with
 // Ref/RefM become invalid. It returns the number of nodes collected.
+//
+// In the swiss plane the sweep rebuilds the control words from the
+// survivors (see gcSwissV/gcSwissM) rather than unlinking chains —
+// dead slots leave no tombstones, so probe lengths reset with every
+// collection. Either way the lookup/hit counters are untouched: they
+// are lifetime totals (see Stats).
 func (p *Package) GarbageCollect() int {
+	if p.swissOn {
+		collected := p.gcSwissV() + p.gcSwissM()
+		p.W.BeginMark()
+		p.vt.forEach(func(n *VNode) {
+			p.W.Mark(n.E[0].W)
+			p.W.Mark(n.E[1].W)
+		})
+		p.mt.forEach(func(n *MNode) {
+			for i := range n.E {
+				p.W.Mark(n.E[i].W)
+			}
+		})
+		p.W.Sweep()
+		p.clearCaches()
+		p.gcRuns++
+		return collected
+	}
 	collected := 0
 	for i, chain := range p.vBuckets {
 		var keep *VNode

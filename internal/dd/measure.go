@@ -24,6 +24,9 @@ func (p *Package) nodeNorm2(n *VNode) float64 {
 		p.cHits++
 		return ent.v
 	}
+	if ent.n != nil {
+		p.cConflicts++
+	}
 	r := n.E[0].W.Mag2()*p.nodeNorm2(n.E[0].N) +
 		n.E[1].W.Mag2()*p.nodeNorm2(n.E[1].N)
 	*ent = norm2Entry{n: n, v: r}
@@ -70,6 +73,9 @@ func (p *Package) probOneNode(n *VNode, level int) float64 {
 	if ent.n == n && int(ent.level) == level {
 		p.cHits++
 		return ent.v
+	}
+	if ent.n != nil {
+		p.cConflicts++
 	}
 	r := n.E[0].W.Mag2()*p.probOneNode(n.E[0].N, level) +
 		n.E[1].W.Mag2()*p.probOneNode(n.E[1].N, level)

@@ -53,6 +53,9 @@ func (p *Package) Add(a, b VEdge) VEdge {
 		p.cHits++
 		return p.scaleV(ent.r, a.W)
 	}
+	if ent.a != nil {
+		p.cConflicts++
+	}
 
 	e0 := p.Add(a.N.E[0], p.scaleV(b.N.E[0], bw))
 	e1 := p.Add(a.N.E[1], p.scaleV(b.N.E[1], bw))
@@ -102,6 +105,9 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 		p.cHits++
 		return p.scaleM(ent.r, a.W)
 	}
+	if ent.a != nil {
+		p.cConflicts++
+	}
 
 	var kids [4]MEdge
 	for i := 0; i < 4; i++ {
@@ -143,6 +149,9 @@ func (p *Package) MulMV(m MEdge, v VEdge) VEdge {
 		p.cHits++
 		return p.scaleV(ent.r, w)
 	}
+	if ent.m != nil {
+		p.cConflicts++
+	}
 
 	var kids [2]VEdge
 	for row := 0; row < 2; row++ {
@@ -180,6 +189,9 @@ func (p *Package) MulMM(a, b MEdge) MEdge {
 		p.cHits++
 		return p.scaleM(ent.r, w)
 	}
+	if ent.a != nil {
+		p.cConflicts++
+	}
 
 	var kids [4]MEdge
 	for row := 0; row < 2; row++ {
@@ -212,6 +224,9 @@ func (p *Package) Kron(a, b MEdge) MEdge {
 	if ent.a == a.N && ent.b == b.N && ent.bw == b.W {
 		p.cHits++
 		return p.scaleM(ent.r, a.W)
+	}
+	if ent.a != nil {
+		p.cConflicts++
 	}
 
 	r := p.kronRec(MEdge{N: a.N, W: p.W.One}, b, bTop)
@@ -254,6 +269,9 @@ func (p *Package) Dot(a, b VEdge) complex128 {
 		p.cHits++
 		return w * ent.r
 	}
+	if ent.ok {
+		p.cConflicts++
+	}
 	r := p.Dot(a.N.E[0], b.N.E[0]) + p.Dot(a.N.E[1], b.N.E[1])
 	*ent = dotEntry{a: a.N, b: b.N, r: r, ok: true}
 	return w * r
@@ -279,6 +297,9 @@ func (p *Package) ConjugateTranspose(m MEdge) MEdge {
 	if ent.m == m.N {
 		p.cHits++
 		return p.scaleM(ent.r, w)
+	}
+	if ent.m != nil {
+		p.cConflicts++
 	}
 	var kids [4]MEdge
 	kids[0] = p.ConjugateTranspose(m.N.E[0])

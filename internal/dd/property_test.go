@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ddsim/internal/swiss"
 )
 
 // randomVecDD builds a DD for a random dense vector and returns both.
@@ -146,48 +148,122 @@ func checkNormalized(t *testing.T, p *Package, n *VNode, seen map[*VNode]bool) {
 }
 
 // checkArenaInvariants walks the package's unique tables and free
-// lists after a collection: live node IDs are unique, every chained
-// node hashes to the bucket holding it, and no free-list slot aliases
-// a live node (a recycled slot reappearing in a chain would corrupt
-// hash-consing silently).
+// lists after a collection: live node IDs are unique, every resident
+// node is stored consistently with its hash (bucket index in the
+// chained plane; control byte and re-findability in the swiss plane),
+// and no free-list slot aliases a live node (a recycled slot
+// reappearing in the table would corrupt hash-consing silently).
 func checkArenaInvariants(t *testing.T, p *Package) {
 	t.Helper()
 	liveV := make(map[*VNode]bool)
+	liveM := make(map[*MNode]bool)
 	seenVID := make(map[uint32]*VNode)
-	countV := 0
-	for idx, chain := range p.vBuckets {
-		for n := chain; n != nil; n = n.next {
-			countV++
-			liveV[n] = true
-			if prev, ok := seenVID[n.id]; ok && prev != n {
-				t.Fatalf("two live vector nodes share id %d", n.id)
+	countV, countM := 0, 0
+	visitV := func(n *VNode) {
+		countV++
+		liveV[n] = true
+		if prev, ok := seenVID[n.id]; ok && prev != n {
+			t.Fatalf("two live vector nodes share id %d", n.id)
+		}
+		seenVID[n.id] = n
+	}
+	visitM := func(n *MNode) {
+		countM++
+		liveM[n] = true
+	}
+	if p.swissOn {
+		p.vt.forEach(func(n *VNode) {
+			visitV(n)
+			if n.next != nil {
+				t.Fatalf("resident vector node id %d has a dangling next pointer", n.id)
 			}
-			seenVID[n.id] = n
-			if got := p.vBucketIndex(n.Level, n.E[0], n.E[1]); got != uint64(idx) {
-				t.Fatalf("vector node id %d chained in bucket %d, hashes to %d", n.id, idx, got)
+			h := p.vHash(n.Level, n.E[0], n.E[1])
+			if got, _, _ := p.vt.find(h, n.Level, n.E[0].N, n.E[0].W, n.E[1].N, n.E[1].W); got != n {
+				t.Fatalf("vector node id %d not re-findable under its own key", n.id)
+			}
+		})
+		p.mt.forEach(func(n *MNode) {
+			visitM(n)
+			if got, _, _ := p.mt.find(p.mHash(n.Level, n.E), n.Level, n.E); got != n {
+				t.Fatalf("matrix node id %d not re-findable under its own key", n.id)
+			}
+		})
+		checkCtrlConsistency(t, p)
+	} else {
+		for idx, chain := range p.vBuckets {
+			for n := chain; n != nil; n = n.next {
+				visitV(n)
+				if got := p.vBucketIndex(n.Level, n.E[0], n.E[1]); got != uint64(idx) {
+					t.Fatalf("vector node id %d chained in bucket %d, hashes to %d", n.id, idx, got)
+				}
+			}
+		}
+		for idx, chain := range p.mBuckets {
+			for n := chain; n != nil; n = n.next {
+				visitM(n)
+				if got := p.mBucketIndex(n.Level, n.E); got != uint64(idx) {
+					t.Fatalf("matrix node id %d chained in bucket %d, hashes to %d", n.id, idx, got)
+				}
 			}
 		}
 	}
 	if countV != p.vCount {
-		t.Fatalf("vCount %d but %d nodes chained", p.vCount, countV)
+		t.Fatalf("vCount %d but %d nodes resident", p.vCount, countV)
+	}
+	if countM != p.mCount {
+		t.Fatalf("mCount %d but %d nodes resident", p.mCount, countM)
 	}
 	for f := p.vFree; f != nil; f = f.next {
 		if liveV[f] {
 			t.Fatalf("free-list vector node id %d aliases a live unique-table node", f.id)
 		}
 	}
-	liveM := make(map[*MNode]bool)
-	for idx, chain := range p.mBuckets {
-		for n := chain; n != nil; n = n.next {
-			liveM[n] = true
-			if got := p.mBucketIndex(n.Level, n.E); got != uint64(idx) {
-				t.Fatalf("matrix node id %d chained in bucket %d, hashes to %d", n.id, idx, got)
-			}
-		}
-	}
 	for f := p.mFree; f != nil; f = f.next {
 		if liveM[f] {
 			t.Fatalf("free-list matrix node id %d aliases a live unique-table node", f.id)
+		}
+	}
+}
+
+// checkCtrlConsistency verifies the swiss control words against the
+// slot arrays: every occupied control byte carries the H2 fingerprint
+// of the node stored in its slot, and every empty byte has a nil slot.
+func checkCtrlConsistency(t *testing.T, p *Package) {
+	t.Helper()
+	for g := range p.vt.ctrl {
+		for i := 0; i < swiss.GroupSize; i++ {
+			c := uint8(p.vt.ctrl[g] >> (uint(i) * 8))
+			n := p.vt.slots[g*swiss.GroupSize+i]
+			if c == swiss.Empty {
+				if n != nil {
+					t.Fatalf("vt group %d slot %d: empty control byte over node id %d", g, i, n.id)
+				}
+				continue
+			}
+			if n == nil {
+				t.Fatalf("vt group %d slot %d: occupied control byte over nil slot", g, i)
+			}
+			if want := swiss.H2(p.vHash(n.Level, n.E[0], n.E[1])); c != want {
+				t.Fatalf("vt group %d slot %d: control byte %#x, node hashes to %#x", g, i, c, want)
+			}
+		}
+	}
+	for g := range p.mt.ctrl {
+		for i := 0; i < swiss.GroupSize; i++ {
+			c := uint8(p.mt.ctrl[g] >> (uint(i) * 8))
+			n := p.mt.slots[g*swiss.GroupSize+i]
+			if c == swiss.Empty {
+				if n != nil {
+					t.Fatalf("mt group %d slot %d: empty control byte over node id %d", g, i, n.id)
+				}
+				continue
+			}
+			if n == nil {
+				t.Fatalf("mt group %d slot %d: occupied control byte over nil slot", g, i)
+			}
+			if want := swiss.H2(p.mHash(n.Level, n.E)); c != want {
+				t.Fatalf("mt group %d slot %d: control byte %#x, node hashes to %#x", g, i, c, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,161 @@
+package dd
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// newPackagePlanes returns a swiss-plane and a chained-plane package of
+// the same size for differential checks, regardless of the process
+// environment.
+func newPackagePlanes(t *testing.T, n int) (sw, ch *Package) {
+	t.Helper()
+	t.Setenv("DDSIM_DD_TABLES", "")
+	sw = NewPackage(n)
+	t.Setenv("DDSIM_DD_TABLES", "chained")
+	ch = NewPackage(n)
+	t.Setenv("DDSIM_DD_TABLES", "")
+	return sw, ch
+}
+
+// TestSwissChainedCanonicalIdentical builds the same random diagrams in
+// both planes and compares the extracted amplitudes bitwise: the lookup
+// plane must be invisible to everything above makeVNode/makeMNode.
+func TestSwissChainedCanonicalIdentical(t *testing.T) {
+	sw, ch := newPackagePlanes(t, 5)
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 30; round++ {
+		amps := make([]complex128, 1<<5)
+		for i := range amps {
+			amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		es := sw.FromVector(amps)
+		ec := ch.FromVector(amps)
+		vs, vc := sw.ToVector(es), ch.ToVector(ec)
+		for i := range vs {
+			if vs[i] != vc[i] {
+				t.Fatalf("round %d amplitude %d: swiss %v, chained %v", round, i, vs[i], vc[i])
+			}
+		}
+		if cmplx.Abs(sw.Dot(es, es)-ch.Dot(ec, ec)) != 0 {
+			t.Fatalf("round %d: norms diverge", round)
+		}
+	}
+}
+
+// TestSwissIDStableAcrossGC pins a diagram, runs collections that
+// rehash the swiss tables (dead nodes freed, control words rebuilt),
+// and checks the surviving nodes keep their identity AND their ids —
+// the arena contract that makes recycled-slot hashing stable.
+func TestSwissIDStableAcrossGC(t *testing.T) {
+	t.Setenv("DDSIM_DD_TABLES", "")
+	p := NewPackage(6)
+	rng := rand.New(rand.NewSource(5))
+	amps := make([]complex128, 1<<6)
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	root := p.FromVector(amps)
+	p.Ref(root)
+	type rec struct {
+		n  *VNode
+		id uint32
+	}
+	var pinnedNodes []rec
+	var walk func(n *VNode)
+	seen := map[*VNode]bool{}
+	walk = func(n *VNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		pinnedNodes = append(pinnedNodes, rec{n, n.id})
+		walk(n.E[0].N)
+		walk(n.E[1].N)
+	}
+	walk(root.N)
+
+	for round := 0; round < 5; round++ {
+		// Garbage per round: unpinned diagrams die at the collection.
+		for i := 0; i < 8; i++ {
+			g := make([]complex128, 1<<6)
+			for k := range g {
+				g[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			p.FromVector(g)
+		}
+		if p.GarbageCollect() == 0 {
+			t.Fatalf("round %d: collection freed nothing", round)
+		}
+		for _, r := range pinnedNodes {
+			if r.n.id != r.id {
+				t.Fatalf("round %d: node id changed %d -> %d across GC rehash", round, r.id, r.n.id)
+			}
+		}
+		// The pinned diagram must still hash-cons to the same nodes.
+		if again := p.FromVector(amps); again.N != root.N {
+			t.Fatalf("round %d: pinned diagram lost canonical identity after rehash", round)
+		}
+		checkArenaInvariants(t, p)
+	}
+}
+
+// TestStatsSurviveSwissAndGC is the regression guard for the Stats
+// counter contract: UniqueLookups/UniqueHits are per-Package lifetime
+// totals that accumulate monotonically, survive GarbageCollect, and
+// mean the same thing in both lookup planes.
+func TestStatsSurviveSwissAndGC(t *testing.T) {
+	for _, mode := range []string{"", "chained"} {
+		t.Setenv("DDSIM_DD_TABLES", mode)
+		p := NewPackage(4)
+		rng := rand.New(rand.NewSource(21))
+		amps := make([]complex128, 1<<4)
+		for i := range amps {
+			amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		e := p.FromVector(amps)
+		p.Ref(e)
+		before := p.Stats()
+		if before.UniqueLookups == 0 {
+			t.Fatalf("mode %q: no unique lookups recorded", mode)
+		}
+		if p.GarbageCollect() == 0 {
+			// Build garbage and retry so the collection is real.
+			for i := range amps {
+				amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			p.FromVector(amps)
+			p.GarbageCollect()
+		}
+		after := p.Stats()
+		if after.UniqueLookups < before.UniqueLookups || after.UniqueHits < before.UniqueHits {
+			t.Fatalf("mode %q: lifetime counters went backwards across GC: %+v -> %+v", mode, before, after)
+		}
+		if after.ComputeLookups < before.ComputeLookups {
+			t.Fatalf("mode %q: compute lookups went backwards across GC", mode)
+		}
+		// Rebuilding the pinned diagram is pure hash-consing: lookups
+		// and hits must both advance.
+		mid := p.Stats()
+		p.FromVector(p.ToVector(e))
+		final := p.Stats()
+		if final.UniqueLookups <= mid.UniqueLookups || final.UniqueHits <= mid.UniqueHits {
+			t.Fatalf("mode %q: re-consing pinned diagram did not advance unique counters", mode)
+		}
+		// Probe telemetry must be alive and bounded by the lookup count.
+		var probes uint64
+		for _, c := range final.UniqueProbe {
+			probes += c
+		}
+		if probes != final.UniqueLookups {
+			t.Fatalf("mode %q: probe histogram holds %d observations, want %d", mode, probes, final.UniqueLookups)
+		}
+		if final.UniqueMaxProbe < 1 {
+			t.Fatalf("mode %q: no max probe recorded", mode)
+		}
+		if final.UniqueLoad <= 0 || final.UniqueLoad > 2 {
+			t.Fatalf("mode %q: implausible load factor %v", mode, final.UniqueLoad)
+		}
+	}
+}

@@ -224,15 +224,22 @@ func (b *Backend) NodeCount() int { return b.pkg.NodeCount(b.state) }
 // package's unique- and compute-table counters.
 func (b *Backend) TableStats() sim.TableStats {
 	s := b.pkg.Stats()
-	return sim.TableStats{
-		UniqueLookups:  int64(s.UniqueLookups),
-		UniqueHits:     int64(s.UniqueHits),
-		ComputeLookups: int64(s.ComputeLookups),
-		ComputeHits:    int64(s.ComputeHits),
-		NodesCreated:   int64(s.NodesCreated),
-		PeakNodes:      int64(s.PeakVNodes),
-		GCRuns:         int64(s.GCRuns),
+	out := sim.TableStats{
+		UniqueLookups:    int64(s.UniqueLookups),
+		UniqueHits:       int64(s.UniqueHits),
+		ComputeLookups:   int64(s.ComputeLookups),
+		ComputeHits:      int64(s.ComputeHits),
+		ComputeConflicts: int64(s.ComputeConflicts),
+		NodesCreated:     int64(s.NodesCreated),
+		PeakNodes:        int64(s.PeakVNodes),
+		GCRuns:           int64(s.GCRuns),
+		UniqueMaxProbe:   int64(s.UniqueMaxProbe),
+		UniqueLoad:       s.UniqueLoad,
 	}
+	for i, c := range s.UniqueProbe {
+		out.UniqueProbe[i] = int64(c)
+	}
+	return out
 }
 
 // Snapshot implements sim.Snapshotter and sim.Forker: the state edge

@@ -1,0 +1,44 @@
+package ddensity
+
+import (
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/noise"
+)
+
+// TestSwissChainedExactIdentical is the exact-mode case of the lookup-
+// plane differential suite: the deterministic density-matrix engine
+// interns weights at 1e-14 (WeightTolerance), so its cell geometry is
+// nine orders of magnitude finer than the stochastic engine's — a
+// regime where a lookup plane that mishandled tolerance cells would
+// produce visibly different mixtures. Every diagonal element of the
+// final ρ and its purity must agree bit for bit between the swiss and
+// chained planes.
+func TestSwissChainedExactIdentical(t *testing.T) {
+	c := circuit.GHZ(8)
+	m := noise.PaperDefaults()
+
+	t.Setenv("DDSIM_DD_TABLES", "")
+	sw, err := RunCircuit(c, m)
+	if err != nil {
+		t.Fatalf("swiss: %v", err)
+	}
+	t.Setenv("DDSIM_DD_TABLES", "chained")
+	ch, err := RunCircuit(c, m)
+	if err != nil {
+		t.Fatalf("chained: %v", err)
+	}
+
+	for idx := uint64(0); idx < 1<<8; idx++ {
+		if a, b := sw.Probability(idx), ch.Probability(idx); a != b {
+			t.Errorf("P(%d) = %v (swiss) vs %v (chained); not bit-identical", idx, a, b)
+		}
+	}
+	if a, b := sw.Purity(), ch.Purity(); a != b {
+		t.Errorf("purity %v (swiss) vs %v (chained); not bit-identical", a, b)
+	}
+	if a, b := sw.Trace(), ch.Trace(); a != b {
+		t.Errorf("trace %v (swiss) vs %v (chained); not bit-identical", a, b)
+	}
+}

@@ -102,12 +102,27 @@ type TableStats struct {
 	UniqueLookups, UniqueHits int64
 	// ComputeLookups/ComputeHits: memoisation-cache probes / hits.
 	ComputeLookups, ComputeHits int64
+	// ComputeConflicts: compute-cache misses that evicted a resident
+	// entry (direct-mapped collision) rather than filling an empty
+	// slot.
+	ComputeConflicts int64
 	// NodesCreated counts vector nodes ever created.
 	NodesCreated int64
 	// PeakNodes is the high-water mark of live vector nodes.
 	PeakNodes int64
 	// GCRuns counts decision-diagram garbage collections.
 	GCRuns int64
+	// UniqueProbe is the unique-table probe-length histogram:
+	// UniqueProbe[i] counts probes that examined i+1 cache lines
+	// (control-word groups in the swiss plane, chain nodes in the
+	// chained plane), the last bucket absorbing longer probes. Its
+	// entries sum to UniqueLookups.
+	UniqueProbe [9]int64
+	// UniqueMaxProbe is the longest unique-table probe the instance
+	// ever performed; UniqueLoad the resident fraction of the
+	// unique tables' slot capacity at the snapshot.
+	UniqueMaxProbe int64
+	UniqueLoad     float64
 }
 
 // TableStatser is an optional backend capability: exposing

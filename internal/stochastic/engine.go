@@ -310,9 +310,15 @@ func (wb *compiled) reportTableStats() {
 	telemetry.DDUniqueHits.Add(cur.UniqueHits - prev.UniqueHits)
 	telemetry.DDComputeLookups.Add(cur.ComputeLookups - prev.ComputeLookups)
 	telemetry.DDComputeHits.Add(cur.ComputeHits - prev.ComputeHits)
+	telemetry.DDComputeConflicts.Add(cur.ComputeConflicts - prev.ComputeConflicts)
 	telemetry.DDNodesCreated.Add(cur.NodesCreated - prev.NodesCreated)
 	telemetry.DDGCRuns.Add(cur.GCRuns - prev.GCRuns)
 	telemetry.DDPeakNodes.SetMax(cur.PeakNodes)
+	for i, c := range cur.UniqueProbe {
+		telemetry.DDUniqueProbeLen.ObserveN(float64(i+1), c-prev.UniqueProbe[i])
+	}
+	telemetry.DDUniqueMaxProbe.SetMax(cur.UniqueMaxProbe)
+	telemetry.DDUniqueLoadFactor.Set(cur.UniqueLoad)
 }
 
 func (e *engine) worker() {

@@ -1,0 +1,65 @@
+package stochastic
+
+import (
+	"runtime"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/ddback"
+	"ddsim/internal/noise"
+	"ddsim/internal/sim"
+	"ddsim/internal/statevec"
+)
+
+// TestSwissChainedBitIdentical is the correctness harness of the DD
+// kernel lookup plane, the analogue of TestArenaOnOffBitIdentical for
+// DDSIM_DD_TABLES: the swiss unique/weight tables (default) and the
+// chained-bucket tables must produce bit-identical results for the
+// same seed, on the full engine pipeline — noise sampling,
+// measurements, tracked states, fidelity estimation and checkpoint
+// forking, across backends and worker counts. The statevec backend
+// has no DD tables; it rides along to prove the env flip itself is
+// inert outside the DD kernel. Run under -race this also drives both
+// planes through the engine's concurrency.
+//
+// The lookup plane may legally change which pointer a table hands
+// back only when the interned *values* are bitwise equal, so any
+// divergence here means a plane broke interning semantics — the
+// tentpole's acceptance criterion.
+func TestSwissChainedBitIdentical(t *testing.T) {
+	c := circuit.GHZ(4).MeasureAll()
+	m := noise.Model{Depolarizing: 0.01, Damping: 0.02, PhaseFlip: 0.01}
+	backends := []struct {
+		name    string
+		factory sim.Factory
+	}{
+		{"dd", ddback.Factory()},
+		{"statevec", statevec.Factory()},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	checkpointing := []string{CheckpointOff, CheckpointOn}
+
+	for _, b := range backends {
+		for _, w := range workerCounts {
+			for _, ck := range checkpointing {
+				opts := Options{
+					Runs: 400, Seed: 7, Shots: 2, ChunkSize: 16, Workers: w,
+					TrackStates: []uint64{0, 7, 15}, TrackFidelity: true,
+					Checkpointing: ck,
+				}
+				t.Setenv("DDSIM_DD_TABLES", "")
+				swiss, err := Run(c, b.factory, m, opts)
+				if err != nil {
+					t.Fatalf("%s workers=%d ckpt=%s swiss: %v", b.name, w, ck, err)
+				}
+				t.Setenv("DDSIM_DD_TABLES", "chained")
+				chained, err := Run(c, b.factory, m, opts)
+				if err != nil {
+					t.Fatalf("%s workers=%d ckpt=%s chained: %v", b.name, w, ck, err)
+				}
+				assertResultsIdentical(t,
+					b.name+"/ckpt="+ck+"/swiss-vs-chained", swiss, chained)
+			}
+		}
+	}
+}

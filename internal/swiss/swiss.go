@@ -1,0 +1,132 @@
+// Package swiss provides the control-byte group-probing primitives of
+// an open-addressing "swiss table" (the design popularised by abseil's
+// flat_hash_map): slots are organised in groups of eight, and each
+// group carries one 64-bit control word holding a one-byte summary per
+// slot — 0x80 for an empty slot, or the low seven bits of the slot
+// key's hash (H2) for an occupied one. A lookup splits its hash into a
+// group selector (H1) and the seven-bit fingerprint (H2), then scans
+// whole groups at a time: one word load plus branch-free SWAR
+// arithmetic yields a bitmask of candidate slots, so the common case
+// touches one cache line of metadata instead of chasing a bucket
+// chain through the heap.
+//
+// The decision-diagram kernel keeps three concrete tables on top of
+// these primitives — the VNode/MNode unique tables (internal/dd) and
+// the weight-interning cell table (internal/cnum). They are written
+// out per key type rather than shared generically so the innermost
+// simulation loop pays no interface or closure dispatch; everything in
+// this package is a leaf function the compiler inlines into those
+// loops.
+//
+// The tables deliberately have no tombstone state: deletion happens
+// only inside the kernel's own garbage collection, which rebuilds the
+// control words from the surviving population (rehash-on-load), so a
+// probe can always terminate at the first empty slot.
+package swiss
+
+import "math/bits"
+
+const (
+	// GroupSize is the number of slots summarised by one control word.
+	GroupSize = 8
+	// GroupShift converts between slot and group indices.
+	GroupShift = 3
+	// Empty is the control byte of an unoccupied slot. Occupied slots
+	// store an H2 fingerprint, whose high bit is always clear.
+	Empty = 0x80
+	// EmptyWord is a control word with all eight slots empty.
+	EmptyWord uint64 = 0x8080808080808080
+
+	loBits uint64 = 0x0101010101010101
+	hiBits uint64 = 0x8080808080808080
+
+	// MaxLoadNum/MaxLoadDen bound the table occupancy: a table grows
+	// when residents exceed 7/8 of its slots. Well below that bound the
+	// expected probe is a single group; rehash-on-load keeps it there
+	// because garbage collection rebuilds rather than tombstones.
+	MaxLoadNum = 7
+	MaxLoadDen = 8
+)
+
+// H1 returns the group-selector part of a hash (everything above the
+// seven fingerprint bits).
+func H1(h uint64) uint64 { return h >> 7 }
+
+// H2 returns the seven-bit fingerprint stored in the control byte of
+// an occupied slot.
+func H2(h uint64) uint8 { return uint8(h) & 0x7f }
+
+// MatchH2 returns a bitmask with bit 8·i+7 set for each slot i of the
+// group whose control byte equals h2. The SWAR zero-byte scan can set
+// a false-positive bit for a slot above a genuine match (borrow
+// propagation), so callers must confirm candidates with a full key
+// comparison — which they need for the 7-bit fingerprint anyway.
+func MatchH2(w uint64, h2 uint8) uint64 {
+	x := w ^ (loBits * uint64(h2))
+	return (x - loBits) &^ x & hiBits
+}
+
+// MatchEmpty returns a bitmask with bit 8·i+7 set for each empty slot
+// of the group. With no tombstone state, the high bit of a control
+// byte is set exactly when the slot is empty, so this is exact.
+func MatchEmpty(w uint64) uint64 { return w & hiBits }
+
+// MatchOccupied returns a bitmask with bit 8·i+7 set for each occupied
+// slot of the group (used by iteration and rebuilds).
+func MatchOccupied(w uint64) uint64 { return ^w & hiBits }
+
+// First returns the slot index (0..7) of the lowest set bit in a match
+// mask. Because SWAR false positives only occur above a genuine match,
+// the first match of a MatchH2 mask used for empty-slot selection is
+// always exact.
+func First(mask uint64) int { return bits.TrailingZeros64(mask) >> GroupShift }
+
+// Next clears the lowest set bit of a match mask, advancing iteration.
+func Next(mask uint64) uint64 { return mask & (mask - 1) }
+
+// SetByte returns the control word w with slot i's byte replaced by c.
+func SetByte(w uint64, i int, c uint8) uint64 {
+	sh := uint(i) * 8
+	return w&^(0xff<<sh) | uint64(c)<<sh
+}
+
+// Probe iterates group indices in the triangular probe sequence
+// g, g+1, g+3, g+6, ... (mod the group count). For a power-of-two
+// group count the sequence visits every group exactly once in the
+// first len cycles, so insertion into a non-full table always finds an
+// empty slot and a lookup always terminates.
+type Probe struct {
+	g, i, mask uint64
+}
+
+// NewProbe starts a probe sequence for group-selector h1 over a table
+// of mask+1 (power of two) groups.
+func NewProbe(h1, mask uint64) Probe {
+	return Probe{g: h1 & mask, mask: mask}
+}
+
+// Group returns the current group index.
+func (p *Probe) Group() uint64 { return p.g }
+
+// Advance steps to the next group in the sequence.
+func (p *Probe) Advance() {
+	p.i++
+	p.g = (p.g + p.i) & p.mask
+}
+
+// GroupsFor returns the smallest power-of-two group count, at least
+// min, whose slot capacity keeps n residents within the maximum load
+// factor. min must be a power of two.
+func GroupsFor(n, min int) int {
+	g := min
+	for g*GroupSize*MaxLoadNum/MaxLoadDen <= n {
+		g *= 2
+	}
+	return g
+}
+
+// GrowAt returns the resident count at which a table of the given
+// group count must rehash before the next insertion.
+func GrowAt(groups int) int {
+	return groups * GroupSize * MaxLoadNum / MaxLoadDen
+}

@@ -1,0 +1,306 @@
+package swiss
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// byteOf extracts control byte i from a word.
+func byteOf(w uint64, i int) uint8 { return uint8(w >> (uint(i) * 8)) }
+
+// wordOf assembles a control word from eight bytes.
+func wordOf(b [8]uint8) uint64 {
+	var w uint64
+	for i := 7; i >= 0; i-- {
+		w = w<<8 | uint64(b[i])
+	}
+	return w
+}
+
+// TestMatchH2Property: against a brute-force scan, MatchH2 must flag
+// every true match and only ever add false positives above the first
+// true match (the documented SWAR borrow artefact) — and when a word
+// contains no true match, no bit at all.
+func TestMatchH2Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b [8]uint8
+		for i := range b {
+			if rng.Intn(2) == 0 {
+				b[i] = Empty
+			} else {
+				b[i] = uint8(rng.Intn(128))
+			}
+		}
+		h2 := uint8(rng.Intn(128))
+		m := MatchH2(wordOf(b), h2)
+		firstTrue := -1
+		for i := 0; i < 8; i++ {
+			if b[i] == h2 {
+				if m&(1<<(uint(i)*8+7)) == 0 {
+					return false // missed a true match
+				}
+				if firstTrue < 0 {
+					firstTrue = i
+				}
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if b[i] != h2 && m&(1<<(uint(i)*8+7)) != 0 {
+				// False positive: only legal above a true match.
+				if firstTrue < 0 || i < firstTrue {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchEmptyExact: empty/occupied masks must be exact complements
+// over the eight slots for every control byte mix.
+func TestMatchEmptyExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b [8]uint8
+		for i := range b {
+			if rng.Intn(2) == 0 {
+				b[i] = Empty
+			} else {
+				b[i] = uint8(rng.Intn(128))
+			}
+		}
+		w := wordOf(b)
+		me, mo := MatchEmpty(w), MatchOccupied(w)
+		if me&mo != 0 || me|mo != hiBits {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			want := b[i] == Empty
+			if (me&(1<<(uint(i)*8+7)) != 0) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFirstMatchBelowFalsePositives: taking First on a MatchH2 mask is
+// always a true match when any true match exists — the property insert
+// and lookup fast paths rely on.
+func TestFirstMatchBelowFalsePositives(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b [8]uint8
+		for i := range b {
+			b[i] = uint8(rng.Intn(129)) // 128 == Empty
+			if b[i] == 128 {
+				b[i] = Empty
+			}
+		}
+		h2 := uint8(rng.Intn(128))
+		hasTrue := false
+		for _, c := range b {
+			if c == h2 {
+				hasTrue = true
+			}
+		}
+		m := MatchH2(wordOf(b), h2)
+		if !hasTrue {
+			// No true match: any set bit must be a false positive, which
+			// requires a borrow from a true zero byte — impossible.
+			return m == 0
+		}
+		return b[First(m)] == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetByte: SetByte touches exactly the addressed byte.
+func TestSetByte(t *testing.T) {
+	w := EmptyWord
+	for i := 0; i < 8; i++ {
+		w2 := SetByte(w, i, 0x5a)
+		for j := 0; j < 8; j++ {
+			want := uint8(Empty)
+			if j == i {
+				want = 0x5a
+			}
+			if byteOf(w2, j) != want {
+				t.Fatalf("SetByte(%d): byte %d = %#x, want %#x", i, j, byteOf(w2, j), want)
+			}
+		}
+	}
+}
+
+// TestProbeVisitsAllGroups: the triangular sequence must visit every
+// group exactly once within the first groups steps, for every
+// power-of-two size and start — the termination guarantee of insert.
+func TestProbeVisitsAllGroups(t *testing.T) {
+	for _, groups := range []int{1, 2, 4, 8, 64, 512} {
+		mask := uint64(groups - 1)
+		for start := 0; start < groups; start++ {
+			seen := make(map[uint64]bool, groups)
+			p := NewProbe(uint64(start), mask)
+			for i := 0; i < groups; i++ {
+				if seen[p.Group()] {
+					t.Fatalf("groups=%d start=%d: group %d visited twice", groups, start, p.Group())
+				}
+				seen[p.Group()] = true
+				p.Advance()
+			}
+			if len(seen) != groups {
+				t.Fatalf("groups=%d start=%d: visited %d distinct groups", groups, start, len(seen))
+			}
+		}
+	}
+}
+
+// TestGeometry: GroupsFor/GrowAt respect the 7/8 bound and powers of
+// two.
+func TestGeometry(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 55, 56, 57, 1000, 250000} {
+		g := GroupsFor(n, 4)
+		if bits.OnesCount(uint(g)) != 1 {
+			t.Fatalf("GroupsFor(%d) = %d, not a power of two", n, g)
+		}
+		if GrowAt(g) <= n {
+			t.Fatalf("GroupsFor(%d) = %d holds only %d residents", n, g, GrowAt(g))
+		}
+		if g > 4 && GrowAt(g/2) > n {
+			t.Fatalf("GroupsFor(%d) = %d not minimal", n, g)
+		}
+	}
+	if GrowAt(512) != 512*8*7/8 {
+		t.Fatalf("GrowAt(512) = %d", GrowAt(512))
+	}
+}
+
+// swissSet is a minimal reference table over uint64 keys built only on
+// the exported primitives — the model for the insert/lookup/rehash
+// invariants the kernel tables rely on.
+type swissSet struct {
+	ctrl  []uint64
+	slots []uint64
+	mask  uint64
+	n     int
+}
+
+func newSwissSet(groups int) *swissSet {
+	s := &swissSet{ctrl: make([]uint64, groups), slots: make([]uint64, groups*GroupSize), mask: uint64(groups - 1)}
+	for i := range s.ctrl {
+		s.ctrl[i] = EmptyWord
+	}
+	return s
+}
+
+func hashKey(k uint64) uint64 {
+	h := k * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+func (s *swissSet) find(k uint64) (int, bool) {
+	h := hashKey(k)
+	h2 := H2(h)
+	p := NewProbe(H1(h), s.mask)
+	for {
+		w := s.ctrl[p.Group()]
+		for m := MatchH2(w, h2); m != 0; m = Next(m) {
+			i := int(p.Group())*GroupSize + First(m)
+			if s.slots[i] == k {
+				return i, true
+			}
+		}
+		if MatchEmpty(w) != 0 {
+			return -1, false
+		}
+		p.Advance()
+	}
+}
+
+func (s *swissSet) insert(k uint64) {
+	if _, ok := s.find(k); ok {
+		return
+	}
+	if s.n >= GrowAt(len(s.ctrl)) {
+		old := s.slots
+		oldCtrl := s.ctrl
+		ns := newSwissSet(len(s.ctrl) * 2)
+		for g := range oldCtrl {
+			for m := MatchOccupied(oldCtrl[g]); m != 0; m = Next(m) {
+				ns.insert(old[g*GroupSize+First(m)])
+			}
+		}
+		*s = *ns
+	}
+	h := hashKey(k)
+	p := NewProbe(H1(h), s.mask)
+	for {
+		g := p.Group()
+		if m := MatchEmpty(s.ctrl[g]); m != 0 {
+			i := First(m)
+			s.ctrl[g] = SetByte(s.ctrl[g], i, H2(h))
+			s.slots[int(g)*GroupSize+i] = k
+			s.n++
+			return
+		}
+		p.Advance()
+	}
+}
+
+// TestReferenceTableProperty drives random insert/lookup workloads
+// through the reference table against a Go map: no key lost, none
+// fabricated, across rehashes, and control words stay consistent with
+// slot occupancy.
+func TestReferenceTableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newSwissSet(1)
+		model := make(map[uint64]bool)
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(3000))
+			if rng.Intn(2) == 0 {
+				s.insert(k)
+				model[k] = true
+			} else {
+				_, got := s.find(k)
+				if got != model[k] {
+					return false
+				}
+			}
+		}
+		if s.n != len(model) {
+			return false
+		}
+		occupied := 0
+		for g := range s.ctrl {
+			for m := MatchOccupied(s.ctrl[g]); m != 0; m = Next(m) {
+				i := g*GroupSize + First(m)
+				occupied++
+				if !model[s.slots[i]] {
+					return false // occupied slot holds an unknown key
+				}
+				if h := hashKey(s.slots[i]); byteOf(s.ctrl[g], First(m)) != H2(h) {
+					return false // control byte disagrees with slot hash
+				}
+			}
+		}
+		return occupied == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -73,6 +73,19 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// ObserveN records n observations of the same value in one shot —
+// the bulk form consumers use to merge pre-bucketed histograms (the
+// DD probe-length counts arrive as per-length totals, not one call
+// per probe). n ≤ 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.counts[h.bucketFor(v)].Add(n)
+	h.sum.Add(v * float64(n))
+	h.count.Add(n)
+}
+
 // bucketFor finds the first bound ≥ v by binary search; the last
 // index is the +Inf overflow bucket.
 func (h *Histogram) bucketFor(v float64) int {

@@ -32,6 +32,27 @@ var (
 	DDComputeHits = NewCounter("ddsim_dd_compute_hits_total",
 		"Decision-diagram compute-table hits.")
 
+	// DDComputeConflicts counts compute-cache misses that evicted a
+	// resident entry — the conflict-miss rate of the direct-mapped
+	// caches (see docs/PERFORMANCE.md "Knob 2c").
+	DDComputeConflicts = NewCounter("ddsim_dd_compute_conflicts_total",
+		"Decision-diagram compute-table misses that evicted a resident entry.")
+
+	// DDUniqueProbeLen is the unique-table probe-length distribution:
+	// cache lines touched per hash-consing lookup (control-word groups
+	// in the swiss plane, chain nodes in the chained plane). The last
+	// bucket absorbs probes longer than 8. DDUniqueMaxProbe is the
+	// longest probe any DD package ever performed in this process;
+	// DDUniqueLoadFactor the unique-table load factor of the most
+	// recently reported package snapshot.
+	DDUniqueProbeLen = NewHistogram("ddsim_dd_unique_probe_len",
+		"Unique-table probe length (cache lines touched per lookup).",
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	DDUniqueMaxProbe = NewGauge("ddsim_dd_unique_max_probe",
+		"Longest unique-table probe observed in any DD package.")
+	DDUniqueLoadFactor = NewFloatGauge("ddsim_dd_unique_load_factor",
+		"Unique-table load factor of the most recently reported DD package.")
+
 	// DDNodesCreated counts vector nodes ever created, DDGCRuns the
 	// number of DD garbage collections, and DDPeakNodes the largest
 	// live vector-node population seen in any single DD package.
