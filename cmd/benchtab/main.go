@@ -73,6 +73,8 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write the regenerated tables and a telemetry digest as JSON to this path (the BENCH_pr.json format)")
 		sizesA     = flag.String("sizes-1a", "8,12,16,20,22,24,28,32,48,64", "entanglement qubit counts")
 		sizesB     = flag.String("sizes-1b", "8,10,12,14,16,18,20,24,28,32", "QFT qubit counts")
+		devicePath = flag.String("device", "", "calibrated device description (JSON); must calibrate at least as many qubits as the largest benchmarked circuit")
+		twirl      = flag.Bool("twirl", false, "replace each channel with its Pauli-twirled approximation")
 	)
 	flag.Parse()
 
@@ -105,13 +107,25 @@ func main() {
 			exactBackends = append(exactBackends, b)
 		}
 	}
+	model := noise.PaperDefaults()
+	if *devicePath != "" {
+		dev, err := noise.LoadDevice(*devicePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		model.Device = dev
+	}
+	if *twirl {
+		model = model.Twirl()
+	}
 	runner := &qbench.Runner{
 		Backends: []qbench.NamedFactory{
 			{Name: "proposed(dd)", Factory: mustFactory(ddsim.BackendDD)},
 			{Name: "statevec", Factory: mustFactory(ddsim.BackendStatevector)},
 			{Name: "sparse-la", Factory: mustFactory(ddsim.BackendSparse)},
 		},
-		Model:            noise.PaperDefaults(),
+		Model:            model,
 		Runs:             *runs,
 		Budget:           *budget,
 		Workers:          *workers,
@@ -131,10 +145,10 @@ func main() {
 
 	if *mode == ddsim.ModeExact {
 		fmt.Printf("exact deterministic simulation: one density-matrix pass/cell, budget=%s/cell, noise %s\n\n",
-			*budget, noise.PaperDefaults())
+			*budget, model)
 	} else {
 		fmt.Printf("stochastic noisy simulation: M=%d runs/cell, budget=%s/cell, noise %s, checkpointing %s\n\n",
-			*runs, *budget, noise.PaperDefaults(), *checkpoint)
+			*runs, *budget, model, *checkpoint)
 	}
 
 	var tables []*qbench.Table

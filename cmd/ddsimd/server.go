@@ -457,7 +457,9 @@ func (s *server) compile(spec *jobSpec) (*ddsim.Circuit, []ddsim.NoiseModel, err
 		}
 	}
 	for i, m := range models {
-		if err := m.Validate(); err != nil {
+		// ValidateFor additionally checks extended channels against the
+		// register (a device description must calibrate every qubit).
+		if err := m.ValidateFor(circ.NumQubits); err != nil {
 			return nil, nil, fmt.Errorf("noise point %d: %v", i, err)
 		}
 	}

@@ -92,6 +92,12 @@ func main() {
 		checkpoint = flag.String("checkpoint", ddsim.CheckpointAuto, "trajectory checkpointing: auto (fork from the deterministic prefix when the backend supports it), on (required), off (always replay); results are bit-identical either way")
 		mode       = flag.String("mode", ddsim.ModeStochastic, "simulation mode: stochastic (Monte-Carlo trajectories) or exact (deterministic density-matrix pass, small registers)")
 		exactBack  = flag.String("exact-backend", ddsim.ExactDDensity, "exact-mode density-matrix representation: "+strings.Join(ddsim.ExactBackends(), ", "))
+		devicePath = flag.String("device", "", "calibrated device description (JSON file): per-qubit T1/T2 and per-gate error rates replace the uniform -depol/-damp/-flip rates")
+		crosstalk  = flag.Float64("crosstalk", 0, "correlated two-qubit Pauli error probability applied after every two-qubit gate")
+		zzBias     = flag.Float64("crosstalk-zz", 0, "fraction of the crosstalk mass concentrated on the ZZ term (0 = uniform over the 15 non-identity Pauli pairs)")
+		idleDamp   = flag.Float64("idle-damp", 0, "per-moment amplitude-damping probability on idling qubits")
+		idleFlip   = flag.Float64("idle-flip", 0, "per-moment phase-flip probability on idling qubits")
+		twirl      = flag.Bool("twirl", false, "replace each channel with its Pauli-twirled approximation")
 	)
 	flag.Parse()
 
@@ -110,6 +116,25 @@ func main() {
 	}
 	if *noNoise {
 		model = ddsim.NoNoise()
+	}
+	if *devicePath != "" {
+		dev, err := ddsim.LoadDevice(*devicePath)
+		if err != nil {
+			fatal(err)
+		}
+		model.Device = dev
+	}
+	if *crosstalk > 0 {
+		model.Crosstalk = &ddsim.Crosstalk{Strength: *crosstalk, ZZBias: *zzBias}
+	}
+	if *idleDamp > 0 || *idleFlip > 0 {
+		model.Idle = &ddsim.IdleNoise{Damping: *idleDamp, Dephasing: *idleFlip}
+	}
+	if *twirl {
+		model = model.Twirl()
+	}
+	if err := model.ValidateFor(circ.NumQubits); err != nil {
+		fatal(err)
 	}
 	opts := ddsim.Options{
 		Runs: *runs, Workers: *workers, Seed: *seed, Shots: *shots, Timeout: *timeout,

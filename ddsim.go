@@ -144,7 +144,26 @@ type (
 	BatchJob = stochastic.Job
 	// Backend is a compiled simulation engine instance.
 	Backend = sim.Backend
+	// Device is a calibrated device description: per-qubit T1/T2
+	// times and per-gate error rates, loaded from JSON
+	// (LoadDevice/ParseDevice) and attached via NoiseModel.Device.
+	Device = noise.Device
+	// DeviceQubit is one qubit's calibration inside a Device.
+	DeviceQubit = noise.DeviceQubit
+	// Crosstalk is a correlated two-qubit Pauli channel applied after
+	// every two-qubit gate (NoiseModel.Crosstalk).
+	Crosstalk = noise.Crosstalk
+	// IdleNoise is time-dependent decoherence on idling qubits, keyed
+	// to circuit moments (NoiseModel.Idle).
+	IdleNoise = noise.IdleNoise
 )
+
+// LoadDevice reads and validates a calibrated device description from
+// a JSON file (see docs/API.md for the schema).
+func LoadDevice(path string) (*Device, error) { return noise.LoadDevice(path) }
+
+// ParseDevice parses and validates a device description from JSON.
+func ParseDevice(data []byte) (*Device, error) { return noise.ParseDevice(data) }
 
 // Backend identifiers accepted by Simulate and NewBackend.
 const (
@@ -377,7 +396,8 @@ func JobKey(c *Circuit, backend string, models []NoiseModel, opts Options) (stri
 	// formatting must never change, or every persisted cache key would
 	// be invalidated. Extend only by appending new fields (and bump
 	// the version tag when doing so). v2 appended mode= and
-	// exact_backend= for the exact engine.
+	// exact_backend= for the exact engine; v3 appends the extended
+	// noise-channel fields, but only for models that carry them.
 	fmt.Fprintf(h, "ddsim-job-v2\nbackend=%s\nqasm=%d:%s\n", backend, len(src), src)
 	for _, m := range models {
 		fmt.Fprintf(h, "noise=%.17g,%.17g,%.17g,%t\n",
@@ -390,6 +410,25 @@ func JobKey(c *Circuit, backend string, models []NoiseModel, opts Options) (stri
 		fmt.Fprintf(h, "track=%d\n", t)
 	}
 	fmt.Fprintf(h, "mode=%s\nexact_backend=%s\n", o.Mode, o.ExactBackend)
+	// v3 appendix: extended noise-channel configuration (device
+	// calibration, crosstalk, idle noise, twirling). Emitted only when
+	// at least one model carries extended channels, so every key for a
+	// plain uniform job — the entire pre-v3 population — is
+	// byte-identical to its v2 form and persisted caches stay valid.
+	extended := false
+	for _, m := range models {
+		if m.Extended() {
+			extended = true
+			break
+		}
+	}
+	if extended {
+		fmt.Fprintf(h, "ddsim-job-v3\n")
+		for _, m := range models {
+			ext := m.CanonicalExtension()
+			fmt.Fprintf(h, "xnoise=%d:%s\n", len(ext), ext)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

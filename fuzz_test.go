@@ -37,7 +37,23 @@ func FuzzCanonical(f *testing.F) {
 		1e308, 1e-308, true, byte(3), byte(3), byte(3), "no-such-backend", []byte("abcdefgh12345678"))
 
 	circ := ddsim.GHZ(3)
-	models := []ddsim.NoiseModel{ddsim.PaperNoise(), ddsim.NoNoise()}
+	// The model slice spans the full vocabulary: the paper's uniform
+	// rates, the noise-free point, and an extended model exercising the
+	// v3 appendix (device calibration, crosstalk, idle noise, twirl) on
+	// every fuzz execution.
+	extended := ddsim.NoiseModel{
+		Device: &ddsim.Device{
+			Name:        "fuzz-3q",
+			Qubits:      []ddsim.DeviceQubit{{T1us: 80, T2us: 100}, {T1us: 60, T2us: 60}, {T1us: 100, T2us: 150}},
+			GateTimesNs: map[string]float64{"h": 35, "cx": 300},
+			GateErrors:  map[string]float64{"cx": 0.01, "*": 0.0005},
+		},
+		Crosstalk: &ddsim.Crosstalk{Strength: 0.02, ZZBias: 0.5},
+		Idle:      &ddsim.IdleNoise{MomentNs: 100},
+		Twirled:   true,
+	}
+	models := []ddsim.NoiseModel{ddsim.PaperNoise(), ddsim.NoNoise(), extended}
+	legacyModels := models[:2]
 	modes := []string{"", ddsim.ModeStochastic, ddsim.ModeExact, "bogus-mode"}
 	exacts := []string{"", ddsim.ExactDDensity, ddsim.ExactDensity, "bogus-backend"}
 	ckpts := []string{"", ddsim.CheckpointAuto, ddsim.CheckpointOn, ddsim.CheckpointOff}
@@ -116,5 +132,129 @@ func FuzzCanonical(f *testing.F) {
 				t.Fatalf("key did not move under a new seed (err %v)", err)
 			}
 		}
+
+		// 5. The extended channels are result-relevant: dropping the
+		// extended model from the sweep must move the key (the v3
+		// appendix fires only for extended models).
+		kl, err := ddsim.JobKey(circ, backend, legacyModels, opts)
+		if err != nil || kl == k1 {
+			t.Fatalf("key did not move when the extended model was dropped (err %v)", err)
+		}
 	})
 }
+
+// FuzzDevice throws arbitrary bytes at the calibrated-device loader
+// behind the -device flags and the ddsimd job API. Properties:
+//
+//  1. ParseDevice never panics, whatever the input;
+//  2. any device it accepts also passes Validate — the parser admits
+//     no description the rest of the engine would reject;
+//  3. every accepted device compiles into a noise plan whose channels
+//     are complete (ΣK†K = I), i.e. hostile calibration values can
+//     never produce a non-trace-preserving channel.
+//
+// The checked-in seeds live under testdata/fuzz/FuzzDevice and run as
+// ordinary test cases on every `go test`; CI additionally fuzzes the
+// target for ~30s per run.
+func FuzzDevice(f *testing.F) {
+	f.Add([]byte(`{"name":"seed","qubits":[{"t1_us":80,"t2_us":100},{"t1_us":60,"t2_us":60}],` +
+		`"gate_times_ns":{"h":35,"cx":300},"gate_errors":{"cx":0.01,"*":0.0005}}`))
+	f.Add([]byte(`{"qubits":[{"t1_us":50,"t2_us":120}]}`)) // T2 > 2·T1: must be rejected
+	f.Add([]byte(`{"qubits":`))                            // truncated JSON
+	f.Add([]byte(`{"qubits":[{"t1_us":1e308,"t2_us":1e308}],"error_scale":1e300}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ddsim.ParseDevice(data)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ParseDevice accepted a device its own Validate rejects: %v", err)
+		}
+		n := len(d.Qubits)
+		if n > 4 {
+			n = 4
+		}
+		c := ddsim.NewCircuit("fuzz_dev", n)
+		c.H(0)
+		for q := 1; q < n; q++ {
+			c.CX(q-1, q)
+		}
+		c.H(0)
+		m := ddsim.NoiseModel{Device: d, Idle: &ddsim.IdleNoise{}, Crosstalk: &ddsim.Crosstalk{Strength: 0.01}}
+		plan, err := m.Compile(c)
+		if err != nil {
+			t.Fatalf("valid device failed to compile: %v", err)
+		}
+		for i := range c.Ops {
+			on := plan.At(i)
+			if on == nil {
+				continue
+			}
+			for j := range on.Pre {
+				assertKraus1Complete(t, on.Pre[j].Kraus())
+			}
+			for j := range on.Post {
+				assertKraus1Complete(t, on.Post[j].Kraus())
+			}
+			for j := range on.Post2 {
+				assertKraus2Complete(t, on.Post2[j].Kraus())
+			}
+		}
+	})
+}
+
+// assertKraus1Complete checks ΣK†K = I for a single-qubit channel.
+func assertKraus1Complete(t *testing.T, ks [][2][2]complex128) {
+	t.Helper()
+	var sum [2][2]complex128
+	for _, k := range ks {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				for l := 0; l < 2; l++ {
+					sum[i][j] += cmplxConj(k[l][i]) * k[l][j]
+				}
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if d := sum[i][j] - want; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				t.Fatalf("channel not trace-preserving: ΣK†K[%d][%d] = %v", i, j, sum[i][j])
+			}
+		}
+	}
+}
+
+// assertKraus2Complete checks ΣK†K = I for a two-qubit channel.
+func assertKraus2Complete(t *testing.T, ks [][4][4]complex128) {
+	t.Helper()
+	var sum [4][4]complex128
+	for _, k := range ks {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				for l := 0; l < 4; l++ {
+					sum[i][j] += cmplxConj(k[l][i]) * k[l][j]
+				}
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if d := sum[i][j] - want; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				t.Fatalf("two-qubit channel not trace-preserving: ΣK†K[%d][%d] = %v", i, j, sum[i][j])
+			}
+		}
+	}
+}
+
+func cmplxConj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,0 +1,43 @@
+package circuit
+
+// Moments schedules the circuit as-soon-as-possible into time steps:
+// Moments()[i] is the moment index of operation i, the earliest step
+// at which every qubit the operation touches is free. Gates, measures
+// and resets each occupy one moment on their qubits; a barrier
+// occupies no moment itself but synchronises all qubits to the same
+// frontier, so nothing scheduled after it overlaps anything before
+// it. The noise layer keys time-dependent idling on the gaps between
+// a qubit's consecutive moments.
+func Moments(c *Circuit) []int {
+	out := make([]int, len(c.Ops))
+	depth := make([]int, c.NumQubits)
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Kind == KindBarrier {
+			max := 0
+			for _, d := range depth {
+				if d > max {
+					max = d
+				}
+			}
+			for q := range depth {
+				depth[q] = max
+			}
+			out[i] = max
+			continue
+		}
+		moment := 0
+		for _, q := range op.Qubits() {
+			if q >= 0 && q < len(depth) && depth[q] > moment {
+				moment = depth[q]
+			}
+		}
+		out[i] = moment
+		for _, q := range op.Qubits() {
+			if q >= 0 && q < len(depth) {
+				depth[q] = moment + 1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package circuit
+
+import "testing"
+
+func TestMomentsASAP(t *testing.T) {
+	c := New("m", 3)
+	c.H(0)     // moment 0
+	c.H(1)     // moment 0 (parallel)
+	c.CX(0, 1) // moment 1 (waits for both)
+	c.H(2)     // moment 0 (independent)
+	c.CX(1, 2) // moment 2 (qubit 1 busy through moment 1)
+	c.H(0)     // moment 2 (qubit 0 free after the first cx)
+	want := []int{0, 0, 1, 0, 2, 2}
+	got := Moments(c)
+	if len(got) != len(want) {
+		t.Fatalf("Moments returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d at moment %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestMomentsMeasureAndReset(t *testing.T) {
+	c := New("mr", 2)
+	c.H(0)          // moment 0
+	c.Measure(0, 0) // moment 1
+	c.Reset(0)      // moment 2
+	c.H(0)          // moment 3
+	c.H(1)          // moment 0 — untouched by qubit 0's history
+	want := []int{0, 1, 2, 3, 0}
+	got := Moments(c)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d at moment %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMomentsBarrierSynchronises(t *testing.T) {
+	c := New("b", 2)
+	c.H(0).H(0).H(0) // qubit 0 through moment 2
+	c.Barrier()
+	c.H(1) // would be moment 0, but the barrier pushes it to 3
+	got := Moments(c)
+	if got[4] != 3 {
+		t.Errorf("post-barrier gate at moment %d, want 3 (all: %v)", got[4], got)
+	}
+	// The barrier itself occupies no moment: the pre-barrier frontier.
+	if got[3] != 3 {
+		t.Errorf("barrier reported moment %d, want the frontier 3", got[3])
+	}
+}
+
+func TestMomentsConditionedGateStillScheduled(t *testing.T) {
+	c := New("c", 2)
+	c.H(0)
+	c.Measure(0, 0)
+	c.Append(Op{Kind: KindGate, Name: "x", Target: 1,
+		Cond: &Condition{Bits: []int{0}, Value: 1}})
+	got := Moments(c)
+	// The conditional gate occupies a moment on its qubit whether or
+	// not it fires at run time — scheduling is static.
+	if got[2] != 0 {
+		t.Errorf("conditioned x at moment %d, want 0 (qubit 1 is free)", got[2])
+	}
+}

@@ -32,6 +32,11 @@ type projKey struct {
 	outcome int
 }
 
+type kraus2Key struct {
+	q0, q1 int
+	u      [4][4]complex128
+}
+
 // Backend is the decision-diagram simulation backend.
 type Backend struct {
 	pkg   *dd.Package
@@ -39,9 +44,10 @@ type Backend struct {
 	gates []dd.MEdge // compiled unitary per op index (zero stub for non-gates)
 	state dd.VEdge
 
-	pauliCache map[pauliKey]dd.MEdge
-	dampCache  map[dampKey]dd.MEdge
-	projCache  map[projKey]dd.MEdge
+	pauliCache  map[pauliKey]dd.MEdge
+	dampCache   map[dampKey]dd.MEdge
+	projCache   map[projKey]dd.MEdge
+	kraus2Cache map[kraus2Key]dd.MEdge
 }
 
 // New compiles the circuit into gate diagrams and prepares |0…0⟩.
@@ -196,6 +202,54 @@ func (b *Backend) ApplyDamping(qubit int, p float64, fire bool, branchProb float
 	b.setState(b.rescale(out, branchProb))
 }
 
+// ApplyKraus2 implements sim.Backend: the 4×4 operator on (q0, q1)
+// is decomposed into Σ_{ij} |i⟩⟨j|_{q0} ⊗ B_{ij,q1} — a sum of
+// products of single-qubit diagrams on disjoint qubits — built once
+// and memoised, so repeated crosstalk branches reduce to cached
+// DD matrix–vector products like every other noise operator.
+func (b *Backend) ApplyKraus2(q0, q1 int, u [4][4]complex128, branchProb float64) {
+	if branchProb <= 0 {
+		panic("ddback: ApplyKraus2 with non-positive branch probability")
+	}
+	if b.kraus2Cache == nil {
+		b.kraus2Cache = make(map[kraus2Key]dd.MEdge)
+	}
+	key := kraus2Key{q0: q0, q1: q1, u: u}
+	g, ok := b.kraus2Cache[key]
+	if !ok {
+		g = b.buildTwoQubitOp(q0, q1, u)
+		b.pkg.RefM(g)
+		b.kraus2Cache[key] = g
+	}
+	out := b.pkg.MulMV(g, b.state)
+	if branchProb != 1 {
+		out = b.rescale(out, branchProb)
+	}
+	b.setState(out)
+}
+
+// buildTwoQubitOp assembles the diagram of a 4×4 operator on the
+// ordered pair (q0, q1), q0 on the high bit.
+func (b *Backend) buildTwoQubitOp(q0, q1 int, u [4][4]complex128) dd.MEdge {
+	acc := b.pkg.ZeroMEdge()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			blk := dd.Mat2{
+				{u[i*2][j*2], u[i*2][j*2+1]},
+				{u[i*2+1][j*2], u[i*2+1][j*2+1]},
+			}
+			if blk[0][0] == 0 && blk[0][1] == 0 && blk[1][0] == 0 && blk[1][1] == 0 {
+				continue
+			}
+			var sel dd.Mat2
+			sel[i][j] = 1
+			op := b.pkg.MulMM(b.pkg.SingleQubitGate(sel, q0), b.pkg.SingleQubitGate(blk, q1))
+			acc = b.pkg.AddM(acc, op)
+		}
+	}
+	return acc
+}
+
 // SampleBasis implements sim.Backend.
 func (b *Backend) SampleBasis(rng *rand.Rand) uint64 {
 	return b.pkg.SampleBasis(b.state, rng)
@@ -282,7 +336,7 @@ func (b *Backend) Release() {
 	b.pkg.Release()
 	b.state = dd.VEdge{}
 	b.gates = nil
-	b.pauliCache, b.dampCache, b.projCache = nil, nil, nil
+	b.pauliCache, b.dampCache, b.projCache, b.kraus2Cache = nil, nil, nil, nil
 }
 
 // FidelityTo implements sim.Snapshotter via the DD inner product.

@@ -32,11 +32,19 @@ type Simulator struct {
 
 	// kraus caches the embedded channel operators per (channel, qubit).
 	kraus map[krausKey][]dd.MEdge
+	// kraus2 caches embedded two-qubit channel operators per
+	// (channel, qubit pair).
+	kraus2 map[krausKey2][]dd.MEdge
 }
 
 type krausKey struct {
 	channel string
 	qubit   int
+}
+
+type krausKey2 struct {
+	channel string
+	q0, q1  int
 }
 
 // WeightTolerance is the edge-weight interning tolerance of the
@@ -59,7 +67,11 @@ func New(n int) *Simulator {
 	}
 	rho := p.ProductOperator(factors)
 	p.RefM(rho)
-	return &Simulator{pkg: p, rho: rho, n: n, kraus: make(map[krausKey][]dd.MEdge)}
+	return &Simulator{
+		pkg: p, rho: rho, n: n,
+		kraus:  make(map[krausKey][]dd.MEdge),
+		kraus2: make(map[krausKey2][]dd.MEdge),
+	}
 }
 
 // NumQubits returns the register size.
@@ -114,6 +126,63 @@ func (s *Simulator) ApplyChannel(name string, kraus [][2][2]complex128, qubit in
 		acc = s.pkg.AddM(acc, term)
 	}
 	s.setRho(acc)
+}
+
+// ApplyChan1 applies one compiled single-qubit channel exactly; the
+// embedded operators are cached under the channel's content key.
+func (s *Simulator) ApplyChan1(ch *noise.Chan1) {
+	s.ApplyChannel(ch.Key(), ch.Kraus(), ch.Qubit)
+}
+
+// ApplyChan2 applies one compiled correlated two-qubit channel
+// exactly.
+func (s *Simulator) ApplyChan2(ch *noise.Chan2) {
+	s.ApplyChannel2(ch.Key(), ch.Kraus(), ch.Q0, ch.Q1)
+}
+
+// ApplyChannel2 applies a two-qubit channel given by 4×4 Kraus
+// operators on the ordered pair (q0, q1), q0 on the high bit:
+// ρ → Σ_k K ρ K†. Each operator is embedded once as
+// Σ_{ij} |i⟩⟨j|_{q0} ⊗ B_{ij,q1} and cached.
+func (s *Simulator) ApplyChannel2(name string, kraus [][4][4]complex128, q0, q1 int) {
+	key := krausKey2{channel: name, q0: q0, q1: q1}
+	ops, ok := s.kraus2[key]
+	if !ok {
+		for _, k := range kraus {
+			e := s.embed2(k, q0, q1)
+			s.pkg.RefM(e)
+			ops = append(ops, e)
+		}
+		s.kraus2[key] = ops
+	}
+	acc := s.pkg.ZeroMEdge()
+	for _, k := range ops {
+		term := s.pkg.MulMM(s.pkg.MulMM(k, s.rho), s.pkg.ConjugateTranspose(k))
+		acc = s.pkg.AddM(acc, term)
+	}
+	s.setRho(acc)
+}
+
+// embed2 assembles the diagram of a 4×4 operator on (q0, q1) from
+// single-qubit factors on the two (disjoint) qubits.
+func (s *Simulator) embed2(u [4][4]complex128, q0, q1 int) dd.MEdge {
+	acc := s.pkg.ZeroMEdge()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			blk := dd.Mat2{
+				{u[i*2][j*2], u[i*2][j*2+1]},
+				{u[i*2+1][j*2], u[i*2+1][j*2+1]},
+			}
+			if blk[0][0] == 0 && blk[0][1] == 0 && blk[1][0] == 0 && blk[1][1] == 0 {
+				continue
+			}
+			var sel dd.Mat2
+			sel[i][j] = 1
+			op := s.pkg.MulMM(s.pkg.SingleQubitGate(sel, q0), s.pkg.SingleQubitGate(blk, q1))
+			acc = s.pkg.AddM(acc, op)
+		}
+	}
+	return acc
 }
 
 // ApplyNoiseAfterGate applies the exact channels of the stochastic
@@ -225,7 +294,7 @@ func (s *Simulator) scaled(e dd.MEdge, f float64) dd.MEdge {
 // (channel, qubit) and read-only per entry.
 func (s *Simulator) Clone() *Simulator {
 	s.pkg.RefM(s.rho)
-	return &Simulator{pkg: s.pkg, rho: s.rho, n: s.n, kraus: s.kraus}
+	return &Simulator{pkg: s.pkg, rho: s.rho, n: s.n, kraus: s.kraus, kraus2: s.kraus2}
 }
 
 // Release drops the clone's reference on its density diagram. Call it
@@ -355,6 +424,14 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 		}
 	}
 	s := New(c.NumQubits)
+	var plan *noise.Plan
+	if model.Extended() {
+		var err2 error
+		plan, err2 = model.Compile(c)
+		if err2 != nil {
+			return nil, err2
+		}
+	}
 	for i := range c.Ops {
 		op := &c.Ops[i]
 		switch op.Kind {
@@ -363,8 +440,22 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ddensity: op %d: %w", i, err)
 			}
+			on := plan.At(i)
+			if on != nil {
+				for k := range on.Pre {
+					s.ApplyChan1(&on.Pre[k])
+				}
+			}
 			s.ApplyGate(u, op.Target, op.Controls)
-			if model.Enabled() {
+			switch {
+			case on != nil:
+				for k := range on.Post {
+					s.ApplyChan1(&on.Post[k])
+				}
+				for k := range on.Post2 {
+					s.ApplyChan2(&on.Post2[k])
+				}
+			case plan == nil && model.Enabled():
 				s.ApplyNoiseAfterGate(model, op.Qubits())
 			}
 		case circuit.KindMeasure:

@@ -1,0 +1,90 @@
+package ddensity
+
+import (
+	"math"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/density"
+	"ddsim/internal/noise"
+)
+
+func extTestDevice() *noise.Device {
+	return &noise.Device{
+		Name: "ext-4q",
+		Qubits: []noise.DeviceQubit{
+			{T1us: 80, T2us: 100},
+			{T1us: 60, T2us: 60},
+			{T1us: 100, T2us: 200},
+			{T1us: 50, T2us: 40},
+		},
+		GateTimesNs: map[string]float64{"h": 35, "cx": 300},
+		GateErrors:  map[string]float64{"cx": 0.02, "*": 0.005},
+	}
+}
+
+// TestExtendedModelsMatchDenseDensity holds the DD density engine to
+// the dense reference on every extended channel family: calibrated
+// per-qubit noise, correlated crosstalk, time-dependent idle decay and
+// Pauli-twirled damping, alone and combined.
+func TestExtendedModelsMatchDenseDensity(t *testing.T) {
+	models := []noise.Model{
+		{Device: extTestDevice()},
+		{Depolarizing: 0.01, Crosstalk: &noise.Crosstalk{Strength: 0.05, ZZBias: 0.5}},
+		{Damping: 0.05, Idle: &noise.IdleNoise{Damping: 0.02, Dephasing: 0.03}},
+		noise.Model{Depolarizing: 0.02, Damping: 0.08, PhaseFlip: 0.02}.Twirl(),
+		{
+			Device:    extTestDevice(),
+			Crosstalk: &noise.Crosstalk{Strength: 0.03, ZZBias: 0.25},
+			Idle:      &noise.IdleNoise{MomentNs: 200},
+			Twirled:   true,
+		},
+	}
+	circs := []*circuit.Circuit{
+		circuit.GHZ(4),
+		circuit.QFTWithInput(3, 0b101),
+	}
+	for _, m := range models {
+		if !m.Extended() {
+			t.Fatalf("model %v is not extended", m)
+		}
+		for _, c := range circs {
+			want, err := density.RunCircuit(c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunCircuit(c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for idx := uint64(0); idx < 1<<uint(c.NumQubits); idx++ {
+				if d := math.Abs(got.Probability(idx) - want.Probability(idx)); d > 1e-9 {
+					t.Errorf("%s (%s): P(%d) differs by %v", c.Name, m, idx, d)
+				}
+			}
+			if d := math.Abs(got.Purity() - want.Purity()); d > 1e-9 {
+				t.Errorf("%s (%s): purity differs by %v", c.Name, m, d)
+			}
+		}
+	}
+}
+
+// TestExtendedEmptyPlanMatchesNoiseFree: an extended model whose
+// channels all vanish must reproduce the noise-free state exactly.
+func TestExtendedEmptyPlanMatchesNoiseFree(t *testing.T) {
+	c := circuit.GHZ(3)
+	m := noise.Model{Crosstalk: &noise.Crosstalk{Strength: 0}}
+	got, err := RunCircuit(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunCircuit(c, noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := uint64(0); idx < 8; idx++ {
+		if d := math.Abs(got.Probability(idx) - want.Probability(idx)); d > 1e-12 {
+			t.Errorf("P(%d) differs by %v", idx, d)
+		}
+	}
+}

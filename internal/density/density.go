@@ -32,6 +32,13 @@ type Simulator struct {
 	// practice).
 	superModel *noise.Model
 	super      [4][4]complex128
+
+	// chanSuper/chanSuper2 cache per-channel superoperators of
+	// compiled extended-model channels, keyed by the channel's
+	// operator-content key. Clones share the maps: branches of one
+	// exact run evolve sequentially in a single goroutine.
+	chanSuper  map[string]*[4][4]complex128
+	chanSuper2 map[string]*[16][16]complex128
 }
 
 // New returns a simulator initialised to ρ = |0…0⟩⟨0…0|.
@@ -188,6 +195,79 @@ func (s *Simulator) ApplySuperOp(sup *[4][4]complex128, qubit int) {
 	}
 }
 
+// ApplyChan1 applies one compiled single-qubit channel exactly, via
+// a cached per-channel superoperator.
+func (s *Simulator) ApplyChan1(ch *noise.Chan1) {
+	if s.chanSuper == nil {
+		s.chanSuper = make(map[string]*[4][4]complex128)
+	}
+	sup, ok := s.chanSuper[ch.Key()]
+	if !ok {
+		v := noise.Super1(ch.Kraus())
+		sup = &v
+		s.chanSuper[ch.Key()] = sup
+	}
+	s.ApplySuperOp(sup, ch.Qubit)
+}
+
+// ApplyChan2 applies one compiled correlated two-qubit channel
+// exactly, via a cached 16×16 superoperator.
+func (s *Simulator) ApplyChan2(ch *noise.Chan2) {
+	if s.chanSuper2 == nil {
+		s.chanSuper2 = make(map[string]*[16][16]complex128)
+	}
+	sup, ok := s.chanSuper2[ch.Key()]
+	if !ok {
+		v := noise.Super2(ch.Kraus())
+		sup = &v
+		s.chanSuper2[ch.Key()] = sup
+	}
+	s.ApplySuperOp2(sup, ch.Q0, ch.Q1)
+}
+
+// ApplySuperOp2 applies a two-qubit superoperator to the ordered pair
+// (q0, q1), q0 on the high bit: for every 4×4 block of ρ over the two
+// bit positions, the vectorised block [ρ(ij)] (row index i*4+j) is
+// mapped through sup. Like ApplySuperOp, one pass touches every
+// matrix entry exactly once.
+func (s *Simulator) ApplySuperOp2(sup *[16][16]complex128, q0, q1 int) {
+	m0 := uint64(1) << s.bitOf(q0)
+	m1 := uint64(1) << s.bitOf(q1)
+	pair := m0 | m1
+	offs := [4]uint64{0, m1, m0, pair}
+	dim := uint64(s.dim)
+	var vec, out [16]complex128
+	for r := uint64(0); r < dim; r++ {
+		if r&pair != 0 {
+			continue
+		}
+		for c := uint64(0); c < dim; c++ {
+			if c&pair != 0 {
+				continue
+			}
+			for i := 0; i < 4; i++ {
+				row := s.rho[r|offs[i]]
+				for j := 0; j < 4; j++ {
+					vec[i*4+j] = row[c|offs[j]]
+				}
+			}
+			for k := 0; k < 16; k++ {
+				var sum complex128
+				for l := 0; l < 16; l++ {
+					sum += sup[k][l] * vec[l]
+				}
+				out[k] = sum
+			}
+			for i := 0; i < 4; i++ {
+				row := s.rho[r|offs[i]]
+				for j := 0; j < 4; j++ {
+					row[c|offs[j]] = out[i*4+j]
+				}
+			}
+		}
+	}
+}
+
 // MeasureDecohere dephases one qubit in the computational basis
 // (ρ → P0ρP0 + P1ρP1) — the ensemble-average effect of a projective
 // measurement whose outcome is not post-selected. This matches
@@ -254,7 +334,10 @@ func (s *Simulator) Reset(qubit int) {
 // Clone returns an independent deep copy of the simulator state, the
 // fork point of the exact engine's outcome-history branching.
 func (s *Simulator) Clone() *Simulator {
-	return &Simulator{n: s.n, dim: s.dim, rho: cloneMatrix(s.rho)}
+	return &Simulator{
+		n: s.n, dim: s.dim, rho: cloneMatrix(s.rho),
+		chanSuper: s.chanSuper, chanSuper2: s.chanSuper2,
+	}
 }
 
 // Mix replaces the state with the convex combination
@@ -359,6 +442,13 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	var plan *noise.Plan
+	if model.Extended() {
+		plan, err = model.Compile(c)
+		if err != nil {
+			return nil, err
+		}
+	}
 	for i := range c.Ops {
 		op := &c.Ops[i]
 		switch op.Kind {
@@ -367,8 +457,22 @@ func RunCircuit(c *circuit.Circuit, model noise.Model) (*Simulator, error) {
 			if err != nil {
 				return nil, fmt.Errorf("density: op %d: %w", i, err)
 			}
+			on := plan.At(i)
+			if on != nil {
+				for k := range on.Pre {
+					s.ApplyChan1(&on.Pre[k])
+				}
+			}
 			s.ApplyGate(u, op.Target, op.Controls)
-			if model.Enabled() {
+			switch {
+			case on != nil:
+				for k := range on.Post {
+					s.ApplyChan1(&on.Post[k])
+				}
+				for k := range on.Post2 {
+					s.ApplyChan2(&on.Post2[k])
+				}
+			case plan == nil && model.Enabled():
 				s.ApplyNoiseAfterGate(model, op.Qubits())
 			}
 		case circuit.KindMeasure:

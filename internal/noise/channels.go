@@ -1,0 +1,374 @@
+// Concrete noise-channel instances: the compiled form of the extended
+// model. A Chan1 is one single-qubit channel bound to a qubit, a
+// Chan2 one correlated two-qubit Pauli channel bound to a gate's
+// qubit pair. Both carry a stable key (for superoperator/Kraus-diagram
+// caches in the exact engines), a Kraus view (for the density-matrix
+// reference and CPTP tests) and a stochastic Apply (for trajectory
+// sampling), so the Monte-Carlo and exact engines consume the same
+// objects.
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ddsim/internal/sim"
+)
+
+// ChanKind discriminates the single-qubit channel families.
+type ChanKind uint8
+
+// The single-qubit channel kinds.
+const (
+	// ChanDepolarizing applies I/X/Y/Z with probability p/4 each.
+	ChanDepolarizing ChanKind = iota
+	// ChanDamping is the amplitude-damping channel (Event selects the
+	// paper's Section III event semantics vs the exact Example 6
+	// channel with γ = P).
+	ChanDamping
+	// ChanPhaseFlip applies Z with probability p.
+	ChanPhaseFlip
+	// ChanPauli applies I/X/Y/Z with the probabilities in Probs — the
+	// general Pauli channel produced by twirling.
+	ChanPauli
+)
+
+// Telemetry label indices: the channel vocabulary reported by the
+// ddsim_noise_channel_applications_total counter.
+const (
+	LabelDepolarizing = iota
+	LabelDamping
+	LabelPhaseFlip
+	LabelTwirled
+	LabelIdle
+	LabelCrosstalk
+	LabelCount
+)
+
+// Labels names the telemetry channel kinds, indexed by the Label*
+// constants.
+var Labels = [LabelCount]string{"depolarizing", "damping", "phaseflip", "twirled", "idle", "crosstalk"}
+
+// ChannelCounts accumulates per-kind channel applications for one
+// chunk of trajectories; the engine flushes it into telemetry.
+type ChannelCounts [LabelCount]int64
+
+// Chan1 is one single-qubit channel instance bound to a qubit.
+type Chan1 struct {
+	Kind  ChanKind
+	Qubit int
+	// Label indexes Labels for telemetry.
+	Label int
+	// P is the channel probability (γ for damping); unused for
+	// ChanPauli.
+	P float64
+	// Event selects the event semantics for ChanDamping.
+	Event bool
+	// Probs are the I/X/Y/Z probabilities of a ChanPauli channel.
+	Probs [4]float64
+
+	key string
+}
+
+// newChan1 builds a channel instance with its cache key precomputed.
+func newChan1(kind ChanKind, qubit int, p float64, event bool, label int) Chan1 {
+	ch := Chan1{Kind: kind, Qubit: qubit, Label: label, P: p, Event: event}
+	ch.key = ch.buildKey()
+	return ch
+}
+
+// newPauliChan1 builds a general Pauli channel instance.
+func newPauliChan1(qubit int, probs [4]float64, label int) Chan1 {
+	ch := Chan1{Kind: ChanPauli, Qubit: qubit, Label: label, Probs: probs}
+	ch.key = ch.buildKey()
+	return ch
+}
+
+func (ch *Chan1) buildKey() string {
+	switch ch.Kind {
+	case ChanDepolarizing:
+		return fmt.Sprintf("depol:%.17g", ch.P)
+	case ChanDamping:
+		return fmt.Sprintf("damp:%.17g:%t", ch.P, ch.Event)
+	case ChanPhaseFlip:
+		return fmt.Sprintf("flip:%.17g", ch.P)
+	case ChanPauli:
+		return fmt.Sprintf("pauli:%.17g,%.17g,%.17g,%.17g",
+			ch.Probs[0], ch.Probs[1], ch.Probs[2], ch.Probs[3])
+	}
+	return "?"
+}
+
+// Key identifies the channel's operator content (not its qubit):
+// channels with equal keys share superoperators and Kraus diagrams in
+// the exact engines' caches.
+func (ch *Chan1) Key() string { return ch.key }
+
+// Kraus returns the channel's Kraus decomposition (ΣK†K = I).
+func (ch *Chan1) Kraus() [][2][2]complex128 {
+	switch ch.Kind {
+	case ChanDepolarizing:
+		p := ch.P
+		return [][2][2]complex128{
+			scale2(ident2(), complex(sqrt(1-3*p/4), 0)),
+			scale2(pauliX(), complex(sqrt(p/4), 0)),
+			scale2(pauliY(), complex(sqrt(p/4), 0)),
+			scale2(pauliZ(), complex(sqrt(p/4), 0)),
+		}
+	case ChanDamping:
+		p := ch.P
+		if ch.Event {
+			return [][2][2]complex128{
+				scale2(ident2(), complex(sqrt(1-p), 0)),
+				{{0, complex(sqrt(p), 0)}, {0, 0}},
+				{{complex(sqrt(p), 0), 0}, {0, 0}},
+			}
+		}
+		return [][2][2]complex128{
+			{{0, complex(sqrt(p), 0)}, {0, 0}},
+			{{1, 0}, {0, complex(sqrt(1-p), 0)}},
+		}
+	case ChanPhaseFlip:
+		p := ch.P
+		return [][2][2]complex128{
+			scale2(ident2(), complex(sqrt(1-p), 0)),
+			scale2(pauliZ(), complex(sqrt(p), 0)),
+		}
+	case ChanPauli:
+		ops := [][2][2]complex128{ident2(), pauliX(), pauliY(), pauliZ()}
+		out := make([][2][2]complex128, 0, 4)
+		for i, p := range ch.Probs {
+			if p > 0 {
+				out = append(out, scale2(ops[i], complex(sqrt(p), 0)))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// Apply samples the channel on one trajectory. The Kind-specific draw
+// patterns for depolarising, damping and phase flip replicate
+// Model.ApplyAfterGate exactly, so a compiled uniform model consumes
+// the same rng stream as the legacy path.
+func (ch *Chan1) Apply(b sim.Backend, rng *rand.Rand) {
+	switch ch.Kind {
+	case ChanDepolarizing:
+		if rng.Float64() < ch.P {
+			b.ApplyPauli(sim.Pauli(rng.Intn(4)), ch.Qubit)
+		}
+	case ChanDamping:
+		ch.applyDamping(b, rng)
+	case ChanPhaseFlip:
+		if rng.Float64() < ch.P {
+			b.ApplyPauli(sim.PauliZ, ch.Qubit)
+		}
+	case ChanPauli:
+		r := rng.Float64()
+		acc := ch.Probs[1]
+		if r < acc {
+			b.ApplyPauli(sim.PauliX, ch.Qubit)
+			return
+		}
+		acc += ch.Probs[2]
+		if r < acc {
+			b.ApplyPauli(sim.PauliY, ch.Qubit)
+			return
+		}
+		acc += ch.Probs[3]
+		if r < acc {
+			b.ApplyPauli(sim.PauliZ, ch.Qubit)
+		}
+	}
+}
+
+// applyDamping mirrors Model.applyDamping for a bound channel.
+func (ch *Chan1) applyDamping(b sim.Backend, rng *rand.Rand) {
+	q := ch.Qubit
+	if ch.Event {
+		if rng.Float64() >= ch.P {
+			return
+		}
+		p1 := b.ProbOne(q)
+		if p1 <= 0 {
+			return
+		}
+		if p1 >= 1 || rng.Float64() < p1 {
+			b.ApplyDamping(q, 1, true, p1)
+		} else {
+			b.ApplyDamping(q, 1, false, 1-p1)
+		}
+		return
+	}
+	p1 := b.ProbOne(q)
+	pFire := ch.P * p1
+	if pFire <= 0 {
+		return
+	}
+	if rng.Float64() < pFire {
+		b.ApplyDamping(q, ch.P, true, pFire)
+	} else {
+		b.ApplyDamping(q, ch.P, false, 1-pFire)
+	}
+}
+
+// PairTerm is one non-identity branch of a correlated two-qubit Pauli
+// channel: the pair P0⊗P1 fires with probability Prob.
+type PairTerm struct {
+	P0, P1 sim.Pauli
+	Prob   float64
+}
+
+// Chan2 is one correlated two-qubit Pauli channel bound to an ordered
+// qubit pair (Q0 indexes the high bit of the 2-qubit basis |Q0 Q1⟩).
+type Chan2 struct {
+	Q0, Q1 int
+	// Label indexes Labels for telemetry.
+	Label int
+	// Terms are the non-identity branches; the identity branch holds
+	// the remaining 1 − ΣProb.
+	Terms []PairTerm
+
+	key string
+}
+
+// newChan2 builds a two-qubit channel with its cache key precomputed.
+func newChan2(q0, q1 int, terms []PairTerm, label int) Chan2 {
+	ch := Chan2{Q0: q0, Q1: q1, Label: label, Terms: terms}
+	var sb strings.Builder
+	sb.WriteString("pauli2:")
+	for i, t := range terms {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%s%s=%.17g", t.P0, t.P1, t.Prob)
+	}
+	ch.key = sb.String()
+	return ch
+}
+
+// Key identifies the channel's operator content; see Chan1.Key.
+func (ch *Chan2) Key() string { return ch.key }
+
+// pauliMat2 returns the 2×2 matrix of a Pauli operator.
+func pauliMat2(p sim.Pauli) [2][2]complex128 {
+	switch p {
+	case sim.PauliX:
+		return pauliX()
+	case sim.PauliY:
+		return pauliY()
+	case sim.PauliZ:
+		return pauliZ()
+	}
+	return ident2()
+}
+
+// PauliPairMat returns the 4×4 matrix of P0⊗P1 with P0 on the high
+// bit, the operand convention of sim.Backend.ApplyKraus2.
+func PauliPairMat(p0, p1 sim.Pauli) [4][4]complex128 {
+	a, b := pauliMat2(p0), pauliMat2(p1)
+	var out [4][4]complex128
+	for i0 := 0; i0 < 2; i0++ {
+		for i1 := 0; i1 < 2; i1++ {
+			for j0 := 0; j0 < 2; j0++ {
+				for j1 := 0; j1 < 2; j1++ {
+					out[i0*2+i1][j0*2+j1] = a[i0][j0] * b[i1][j1]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Kraus returns the channel's 4×4 Kraus decomposition: the scaled
+// identity branch first, then one scaled Pauli pair per term.
+func (ch *Chan2) Kraus() [][4][4]complex128 {
+	total := 0.0
+	for _, t := range ch.Terms {
+		total += t.Prob
+	}
+	out := make([][4][4]complex128, 0, len(ch.Terms)+1)
+	if total < 1 {
+		id := PauliPairMat(sim.PauliI, sim.PauliI)
+		out = append(out, scale4(id, complex(sqrt(1-total), 0)))
+	}
+	for _, t := range ch.Terms {
+		if t.Prob > 0 {
+			out = append(out, scale4(PauliPairMat(t.P0, t.P1), complex(sqrt(t.Prob), 0)))
+		}
+	}
+	return out
+}
+
+// Apply samples the channel on one trajectory: a single rng draw
+// selects the identity or one correlated Pauli pair. Pauli branches
+// are trace-preserving, so no renormalisation is needed.
+func (ch *Chan2) Apply(b sim.Backend, rng *rand.Rand) {
+	r := rng.Float64()
+	acc := 0.0
+	for _, t := range ch.Terms {
+		acc += t.Prob
+		if r < acc {
+			b.ApplyKraus2(ch.Q0, ch.Q1, PauliPairMat(t.P0, t.P1), 1)
+			return
+		}
+	}
+}
+
+func scale4(m [4][4]complex128, s complex128) [4][4]complex128 {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] *= s
+		}
+	}
+	return m
+}
+
+// TwirlProbs computes the Pauli twirl of a single-qubit channel: the
+// Pauli channel with p_P = Σ_k |tr(P†K_k)|²/4, the chi-matrix
+// diagonal of the Kraus set. For a CPTP input the probabilities sum
+// to 1.
+func TwirlProbs(kraus [][2][2]complex128) [4]float64 {
+	paulis := [4][2][2]complex128{ident2(), pauliX(), pauliY(), pauliZ()}
+	var probs [4]float64
+	for _, k := range kraus {
+		for i, p := range paulis {
+			// tr(P†K)/2 with P Hermitian: Σ_ab conj(P[a][b])·K[a][b] / 2.
+			var tr complex128
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					tr += conj(p[a][b]) * k[a][b]
+				}
+			}
+			tr /= 2
+			probs[i] += real(tr)*real(tr) + imag(tr)*imag(tr)
+		}
+	}
+	return probs
+}
+
+// Super1 vectorises a single-qubit Kraus set into its 4×4
+// superoperator; see channelSuper.
+func Super1(kraus [][2][2]complex128) [4][4]complex128 {
+	return channelSuper(kraus)
+}
+
+// Super2 vectorises a two-qubit Kraus set into the 16×16
+// superoperator acting on the vectorised 4×4 block
+// [ρ(ij)] with row index i*4+j: S[(i,j),(a,b)] = Σ_k K[i][a]·conj(K[j][b]).
+func Super2(kraus [][4][4]complex128) [16][16]complex128 {
+	var s [16][16]complex128
+	for _, k := range kraus {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				for a := 0; a < 4; a++ {
+					for b := 0; b < 4; b++ {
+						s[i*4+j][a*4+b] += k[i][a] * conj(k[j][b])
+					}
+				}
+			}
+		}
+	}
+	return s
+}

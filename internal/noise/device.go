@@ -1,0 +1,179 @@
+// Device descriptions: per-qubit calibration data (T1/T2 relaxation
+// times, per-gate error rates and durations) loaded from JSON, from
+// which the noise model derives per-qubit damping/dephasing
+// probabilities instead of the paper's uniform rates.
+package noise
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// defaultGateTimeNs is the gate duration assumed when a device
+// description names neither the gate nor a default.
+const defaultGateTimeNs = 50
+
+// DeviceQubit is one qubit's calibration: relaxation (T1) and
+// dephasing (T2) times in microseconds. Physical devices satisfy
+// T2 ≤ 2·T1; Validate enforces it, so the derived pure-dephasing
+// rate 1/Tφ = 1/T2 − 1/(2·T1) is never negative.
+type DeviceQubit struct {
+	T1us float64 `json:"t1_us"`
+	T2us float64 `json:"t2_us"`
+}
+
+// Device is a device description: the calibration data a per-qubit
+// noise model is derived from. The JSON form is the on-disk schema
+// read by LoadDevice and accepted by the ddsimd job API.
+type Device struct {
+	// Name labels the device (informational).
+	Name string `json:"name,omitempty"`
+	// Qubits lists per-qubit calibrations. A circuit simulated against
+	// the device must not use more qubits than are described here.
+	Qubits []DeviceQubit `json:"qubits"`
+	// GateTimesNs maps gate names (circuit op names: "h", "cx", …) to
+	// durations in nanoseconds, determining how much T1/T2 decay a
+	// gate inflicts on its qubits.
+	GateTimesNs map[string]float64 `json:"gate_times_ns,omitempty"`
+	// DefaultGateTimeNs is the duration for gates absent from
+	// GateTimesNs (0 means the built-in 50 ns default).
+	DefaultGateTimeNs float64 `json:"default_gate_time_ns,omitempty"`
+	// GateErrors maps gate names to depolarising error probabilities;
+	// the key "*" supplies a fallback for unnamed gates. Gates matched
+	// by neither fall back to the model's uniform Depolarizing rate.
+	GateErrors map[string]float64 `json:"gate_errors,omitempty"`
+	// ErrorScale multiplies every probability derived from the device
+	// (0 means 1). Model.Scale scales it, so noise sweeps work on
+	// calibrated models exactly as on uniform ones.
+	ErrorScale float64 `json:"error_scale,omitempty"`
+}
+
+// LoadDevice reads and validates a device description from a JSON
+// file.
+func LoadDevice(path string) (*Device, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("noise: device %s: %w", path, err)
+	}
+	d, err := ParseDevice(data)
+	if err != nil {
+		return nil, fmt.Errorf("noise: device %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// ParseDevice parses and validates a device description from JSON.
+func ParseDevice(data []byte) (*Device, error) {
+	var d Device
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("noise: device JSON: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks the device description: at least one qubit, finite
+// positive relaxation times with T2 ≤ 2·T1, positive gate durations,
+// error probabilities in [0, 1] and a non-negative error scale.
+func (d *Device) Validate() error {
+	if len(d.Qubits) == 0 {
+		return fmt.Errorf("noise: device describes no qubits")
+	}
+	for i, q := range d.Qubits {
+		if !(q.T1us > 0) || math.IsInf(q.T1us, 0) {
+			return fmt.Errorf("noise: device qubit %d: t1_us %v must be positive and finite", i, q.T1us)
+		}
+		if !(q.T2us > 0) || math.IsInf(q.T2us, 0) {
+			return fmt.Errorf("noise: device qubit %d: t2_us %v must be positive and finite", i, q.T2us)
+		}
+		if q.T2us > 2*q.T1us {
+			return fmt.Errorf("noise: device qubit %d: t2_us %v exceeds 2·t1_us %v", i, q.T2us, 2*q.T1us)
+		}
+	}
+	for name, t := range d.GateTimesNs {
+		if !(t > 0) || math.IsInf(t, 0) {
+			return fmt.Errorf("noise: device gate %q: duration %v ns must be positive and finite", name, t)
+		}
+	}
+	if d.DefaultGateTimeNs < 0 || math.IsInf(d.DefaultGateTimeNs, 0) || math.IsNaN(d.DefaultGateTimeNs) {
+		return fmt.Errorf("noise: device default gate time %v ns must be non-negative and finite", d.DefaultGateTimeNs)
+	}
+	for name, e := range d.GateErrors {
+		if !(e >= 0 && e <= 1) {
+			return fmt.Errorf("noise: device gate %q: error %v outside [0,1]", name, e)
+		}
+	}
+	if d.ErrorScale < 0 || math.IsInf(d.ErrorScale, 0) || math.IsNaN(d.ErrorScale) {
+		return fmt.Errorf("noise: device error_scale %v must be non-negative and finite", d.ErrorScale)
+	}
+	return nil
+}
+
+// scaleFactor is the effective ErrorScale (zero value means 1).
+func (d *Device) scaleFactor() float64 {
+	if d.ErrorScale == 0 {
+		return 1
+	}
+	return d.ErrorScale
+}
+
+// gateTimeNs returns the duration of the named gate.
+func (d *Device) gateTimeNs(name string) float64 {
+	if t, ok := d.GateTimesNs[name]; ok {
+		return t
+	}
+	if d.DefaultGateTimeNs > 0 {
+		return d.DefaultGateTimeNs
+	}
+	return defaultGateTimeNs
+}
+
+// gateError returns the depolarising error probability of the named
+// gate: an explicit entry, else the "*" fallback (both scaled by
+// ErrorScale), else the caller's fallback rate unscaled — uniform
+// model rates are scaled by Model.Scale already.
+func (d *Device) gateError(name string, fallback float64) float64 {
+	if e, ok := d.GateErrors[name]; ok {
+		return clampProb(e * d.scaleFactor())
+	}
+	if e, ok := d.GateErrors["*"]; ok {
+		return clampProb(e * d.scaleFactor())
+	}
+	return clampProb(fallback)
+}
+
+// decayProbs derives the amplitude-damping and phase-flip
+// probabilities qubit q accumulates over tNs nanoseconds:
+// p_damp = 1 − e^(−t/T1) and p_flip = (1 − e^(−t/Tφ))/2 with the
+// pure-dephasing rate 1/Tφ = 1/T2 − 1/(2·T1) (zero when T2 = 2·T1,
+// the T1-limited case). Both are scaled by ErrorScale and clamped
+// into [0, 1].
+func (d *Device) decayProbs(q int, tNs float64) (pDamp, pFlip float64) {
+	if tNs <= 0 {
+		return 0, 0
+	}
+	qb := d.Qubits[q]
+	t1 := qb.T1us * 1000 // µs → ns
+	t2 := qb.T2us * 1000
+	s := d.scaleFactor()
+	pDamp = clampProb((1 - math.Exp(-tNs/t1)) * s)
+	invTphi := 1/t2 - 1/(2*t1)
+	if invTphi > 0 {
+		pFlip = clampProb((1 - math.Exp(-tNs*invTphi)) / 2 * s)
+	}
+	return pDamp, pFlip
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"ddsim/internal/sim"
 )
@@ -54,6 +56,23 @@ type Model struct {
 	// which destroys product structure and blows decision diagrams up
 	// even on structure-friendly circuits such as Bernstein–Vazirani.
 	DampingAsEvent bool `json:"damping_as_event,omitempty"`
+
+	// Device supplies per-qubit calibrated noise: T1/T2-derived
+	// damping/dephasing per gate and per-gate depolarising error
+	// rates, overriding the uniform probabilities above. See Device
+	// and LoadDevice.
+	Device *Device `json:"device,omitempty"`
+	// Crosstalk adds a correlated two-qubit Pauli channel after every
+	// two-qubit gate.
+	Crosstalk *Crosstalk `json:"crosstalk,omitempty"`
+	// Idle adds time-dependent idling noise: qubits accumulate decay
+	// over the circuit moments they sit out between gates.
+	Idle *IdleNoise `json:"idle,omitempty"`
+	// Twirled replaces every amplitude-damping channel by its Pauli
+	// twirl (see Model.Twirl and TwirlProbs). Depolarising and
+	// phase-flip channels are Pauli channels already — twirl fixed
+	// points — and pass through unchanged.
+	Twirled bool `json:"twirled,omitempty"`
 }
 
 // PaperDefaults returns the error rates used throughout the paper's
@@ -64,20 +83,67 @@ func PaperDefaults() Model {
 
 // Enabled reports whether any channel has a non-zero probability.
 func (m Model) Enabled() bool {
-	return m.Depolarizing > 0 || m.Damping > 0 || m.PhaseFlip > 0
+	if m.Depolarizing > 0 || m.Damping > 0 || m.PhaseFlip > 0 {
+		return true
+	}
+	if m.Device != nil {
+		return true
+	}
+	if m.Crosstalk != nil && m.Crosstalk.Strength > 0 {
+		return true
+	}
+	if m.Idle != nil && (m.Idle.Damping > 0 || m.Idle.Dephasing > 0) {
+		return true
+	}
+	return false
+}
+
+// Extended reports whether the model uses any channel beyond the
+// paper's uniform per-gate trio. Extended models run through a
+// compiled Plan; plain models keep the legacy per-gate path (and the
+// legacy rng stream, result caches and JobKeys).
+func (m Model) Extended() bool {
+	return m.Device != nil || m.Crosstalk != nil || m.Idle != nil || m.Twirled
+}
+
+// Twirl returns the model with every damping channel replaced by its
+// Pauli-twirl approximation; idempotent.
+func (m Model) Twirl() Model {
+	m.Twirled = true
+	return m
 }
 
 // Scale returns the model with every error probability multiplied by
 // s, preserving the damping semantics — the unit of noise sweeps.
-// Scaled probabilities above 1 are rejected by Validate as usual.
+// Device-derived probabilities scale through the device's ErrorScale;
+// sub-configurations are copied, so scaled models share nothing with
+// the original. Scaled probabilities above 1 are rejected by Validate
+// as usual.
 func (m Model) Scale(s float64) Model {
 	m.Depolarizing *= s
 	m.Damping *= s
 	m.PhaseFlip *= s
+	if m.Device != nil {
+		d := *m.Device
+		d.ErrorScale = d.scaleFactor() * s
+		m.Device = &d
+	}
+	if m.Crosstalk != nil {
+		x := *m.Crosstalk
+		x.Strength *= s
+		m.Crosstalk = &x
+	}
+	if m.Idle != nil {
+		id := *m.Idle
+		id.Damping *= s
+		id.Dephasing *= s
+		m.Idle = &id
+	}
 	return m
 }
 
-// Validate checks that all probabilities lie in [0, 1].
+// Validate checks that all probabilities lie in [0, 1] and that any
+// device, crosstalk and idle configurations are themselves valid.
 func (m Model) Validate() error {
 	for _, p := range []struct {
 		name string
@@ -91,12 +157,95 @@ func (m Model) Validate() error {
 			return fmt.Errorf("noise: %s probability %v outside [0,1]", p.name, p.v)
 		}
 	}
+	if m.Device != nil {
+		if err := m.Device.Validate(); err != nil {
+			return err
+		}
+	}
+	if m.Crosstalk != nil {
+		if err := m.Crosstalk.Validate(); err != nil {
+			return err
+		}
+	}
+	if m.Idle != nil {
+		if err := m.Idle.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateFor validates the model against a register size: a device
+// description must calibrate at least numQubits qubits.
+func (m Model) ValidateFor(numQubits int) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Device != nil && len(m.Device.Qubits) < numQubits {
+		return fmt.Errorf("noise: device %q describes %d qubits, circuit needs %d",
+			m.Device.Name, len(m.Device.Qubits), numQubits)
+	}
 	return nil
 }
 
 // String summarises the model.
 func (m Model) String() string {
-	return fmt.Sprintf("depol=%.4f damp=%.4f flip=%.4f", m.Depolarizing, m.Damping, m.PhaseFlip)
+	s := fmt.Sprintf("depol=%.4f damp=%.4f flip=%.4f", m.Depolarizing, m.Damping, m.PhaseFlip)
+	if m.Device != nil {
+		s += fmt.Sprintf(" device=%s(%dq)", m.Device.Name, len(m.Device.Qubits))
+	}
+	if m.Crosstalk != nil {
+		s += fmt.Sprintf(" xtalk=%.4f", m.Crosstalk.Strength)
+	}
+	if m.Idle != nil {
+		s += fmt.Sprintf(" idle=%.4f/%.4f", m.Idle.Damping, m.Idle.Dephasing)
+	}
+	if m.Twirled {
+		s += " twirled"
+	}
+	return s
+}
+
+// CanonicalExtension serialises the extended-channel configuration
+// into a stable string for JobKey's v3 appendix: every field in a
+// fixed order, map entries sorted by key, floats at full precision.
+// Non-extended models serialise to "".
+func (m Model) CanonicalExtension() string {
+	if !m.Extended() {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "twirled=%t\n", m.Twirled)
+	if d := m.Device; d != nil {
+		fmt.Fprintf(&sb, "device=%s\n", d.Name)
+		for i, q := range d.Qubits {
+			fmt.Fprintf(&sb, "qubit=%d:%.17g,%.17g\n", i, q.T1us, q.T2us)
+		}
+		for _, k := range sortedKeys(d.GateTimesNs) {
+			fmt.Fprintf(&sb, "gate_time=%s:%.17g\n", k, d.GateTimesNs[k])
+		}
+		fmt.Fprintf(&sb, "default_gate_time=%.17g\n", d.DefaultGateTimeNs)
+		for _, k := range sortedKeys(d.GateErrors) {
+			fmt.Fprintf(&sb, "gate_error=%s:%.17g\n", k, d.GateErrors[k])
+		}
+		fmt.Fprintf(&sb, "error_scale=%.17g\n", d.ErrorScale)
+	}
+	if x := m.Crosstalk; x != nil {
+		fmt.Fprintf(&sb, "crosstalk=%.17g,%.17g\n", x.Strength, x.ZZBias)
+	}
+	if id := m.Idle; id != nil {
+		fmt.Fprintf(&sb, "idle=%.17g,%.17g,%.17g\n", id.Damping, id.Dephasing, id.MomentNs)
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // ApplyAfterGate stochastically injects errors on each qubit a gate

@@ -1,0 +1,237 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/sim"
+)
+
+func TestExtendedDiscrimination(t *testing.T) {
+	if PaperDefaults().Extended() {
+		t.Error("uniform model reports extended")
+	}
+	for _, m := range []Model{
+		{Device: testDevice()},
+		{Crosstalk: &Crosstalk{Strength: 0.01}},
+		{Idle: &IdleNoise{Damping: 0.001}},
+		PaperDefaults().Twirl(),
+	} {
+		if !m.Extended() {
+			t.Errorf("model %v reports not extended", m)
+		}
+	}
+}
+
+func TestCompileGateNoise(t *testing.T) {
+	m := Model{Device: testDevice()}
+	c := circuit.New("g", 2)
+	c.H(0).CX(0, 1)
+	plan, err := m.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := plan.At(0) // h on qubit 0
+	if on == nil || len(on.Pre) != 0 || len(on.Post2) != 0 {
+		t.Fatalf("h channels = %+v", on)
+	}
+	// h: gate error 0.0005 (the * fallback), damping and dephasing
+	// from qubit 0's T1/T2 over the 35 ns "h" entry.
+	wantDamp, wantFlip := m.Device.decayProbs(0, 35)
+	var kinds []ChanKind
+	for _, ch := range on.Post {
+		kinds = append(kinds, ch.Kind)
+		switch ch.Kind {
+		case ChanDepolarizing:
+			if ch.P != 0.0005 {
+				t.Errorf("h depol = %v, want the * fallback", ch.P)
+			}
+		case ChanDamping:
+			if math.Abs(ch.P-wantDamp) > 1e-15 || ch.Event {
+				t.Errorf("h damping = %+v, want exact-channel γ %v", ch, wantDamp)
+			}
+		case ChanPhaseFlip:
+			if math.Abs(ch.P-wantFlip) > 1e-15 {
+				t.Errorf("h flip = %v, want %v", ch.P, wantFlip)
+			}
+		}
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("h produced channels %v, want depol+damp+flip", kinds)
+	}
+	// cx: named gate error, two qubits' decay over 300 ns.
+	on = plan.At(1)
+	if on == nil || len(on.Post) != 6 {
+		t.Fatalf("cx channels = %+v, want 3 per qubit", on)
+	}
+	if on.Post[0].Kind != ChanDepolarizing || on.Post[0].P != 0.01 {
+		t.Errorf("cx depol = %+v, want the named 0.01 entry", on.Post[0])
+	}
+}
+
+func TestCompileFirstTouchGetsNoIdleNoise(t *testing.T) {
+	m := Model{Idle: &IdleNoise{Damping: 0.01, Dephasing: 0.02}}
+	c := circuit.New("idle", 2)
+	c.H(0).H(0).H(0).H(1) // qubit 1 idles 3 moments before its first gate
+	plan, err := m.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if on := plan.At(i); on != nil && len(on.Pre) > 0 {
+			t.Fatalf("op %d carries idle noise %+v; a qubit still in |0⟩ has nothing to decay", i, on.Pre)
+		}
+	}
+}
+
+func TestCompileIdleCompounding(t *testing.T) {
+	m := Model{Idle: &IdleNoise{Damping: 0.01, Dephasing: 0.02}}
+	c := circuit.New("idle", 2)
+	// Ops are scheduled ASAP, so idle time only accrues when a later
+	// multi-qubit gate forces a qubit to wait: here the cx lands at
+	// moment 3 while qubit 1 last acted at moment 0 — 2 idle moments.
+	c.H(1).H(0).H(0).H(0).CX(0, 1)
+	plan, err := m.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := plan.At(4)
+	if on == nil || len(on.Pre) != 2 {
+		t.Fatalf("cx pre-channels = %+v, want damping+dephasing on the idled qubit", on)
+	}
+	k := 2.0
+	wantDamp := 1 - math.Pow(1-0.01, k)
+	wantFlip := (1 - math.Pow(1-2*0.02, k)) / 2
+	if d := on.Pre[0]; d.Qubit != 1 || d.Kind != ChanDamping || math.Abs(d.P-wantDamp) > 1e-15 || d.Label != LabelIdle {
+		t.Errorf("idle damping = %+v, want compounded %v", d, wantDamp)
+	}
+	if f := on.Pre[1]; f.Kind != ChanPhaseFlip || math.Abs(f.P-wantFlip) > 1e-15 || f.Label != LabelIdle {
+		t.Errorf("idle dephasing = %+v, want compounded %v", f, wantFlip)
+	}
+	// The consecutive h(0) run never idles.
+	for i := 1; i <= 3; i++ {
+		if on := plan.At(i); on != nil && len(on.Pre) > 0 {
+			t.Errorf("back-to-back gate %d carries idle noise", i)
+		}
+	}
+}
+
+func TestCompileCrosstalkOnTwoQubitGatesOnly(t *testing.T) {
+	m := Model{Crosstalk: &Crosstalk{Strength: 0.03, ZZBias: 0.5}}
+	c := circuit.New("xt", 3)
+	c.H(0).CX(0, 1).CCX(0, 1, 2).CX(1, 2)
+	plan, err := m.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 0, 1} { // h, cx, ccx, cx
+		n := 0
+		if on := plan.At(i); on != nil {
+			n = len(on.Post2)
+		}
+		if n != want {
+			t.Errorf("op %d: %d crosstalk channels, want %d", i, n, want)
+		}
+	}
+	ch := plan.At(1).Post2[0]
+	total, zz := 0.0, 0.0
+	for _, term := range ch.Terms {
+		if term.Prob < 0 {
+			t.Fatalf("negative term %+v", term)
+		}
+		total += term.Prob
+		if term.P0 == sim.PauliZ && term.P1 == sim.PauliZ {
+			zz = term.Prob
+		}
+	}
+	if math.Abs(total-0.03) > 1e-15 {
+		t.Errorf("crosstalk mass = %v, want the configured 0.03", total)
+	}
+	wantZZ := 0.03*0.5 + 0.03*0.5/15
+	if math.Abs(zz-wantZZ) > 1e-15 {
+		t.Errorf("ZZ term = %v, want biased %v", zz, wantZZ)
+	}
+}
+
+func TestCompileRejectsSmallDevice(t *testing.T) {
+	m := Model{Device: testDevice()} // 5 calibrated qubits
+	if _, err := m.Compile(circuit.GHZ(6)); err == nil {
+		t.Fatal("6-qubit circuit accepted against a 5-qubit device")
+	}
+	if err := m.ValidateFor(6); err == nil {
+		t.Fatal("ValidateFor(6) accepted a 5-qubit device")
+	}
+	if err := m.ValidateFor(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileEmptyPlan(t *testing.T) {
+	m := Model{Crosstalk: &Crosstalk{Strength: 0}} // extended but massless
+	if !m.Extended() {
+		t.Fatal("crosstalk-bearing model not extended")
+	}
+	c := circuit.New("e", 2)
+	c.H(0).CX(0, 1)
+	plan, err := m.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatal("zero-strength crosstalk produced channels")
+	}
+	if plan.At(-1) != nil || plan.At(99) != nil {
+		t.Fatal("out-of-range At not nil")
+	}
+}
+
+func TestCompileTwirledPlanLabels(t *testing.T) {
+	m := PaperDefaults().Twirl()
+	c := circuit.New("tw", 1)
+	c.H(0)
+	plan, err := m.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := plan.At(0)
+	if on == nil {
+		t.Fatal("no channels on the gate")
+	}
+	sawTwirled := false
+	for _, ch := range on.Post {
+		if ch.Kind == ChanDamping {
+			t.Errorf("twirled plan still carries a damping channel %+v", ch)
+		}
+		if ch.Kind == ChanPauli {
+			sawTwirled = true
+			if ch.Label != LabelTwirled {
+				t.Errorf("twirled channel labelled %q", Labels[ch.Label])
+			}
+		}
+	}
+	if !sawTwirled {
+		t.Fatal("no twirled Pauli channel in the plan")
+	}
+}
+
+func TestCompileBarrierIsIgnored(t *testing.T) {
+	m := Model{Idle: &IdleNoise{Damping: 0.01}}
+	withBarrier := circuit.New("b", 2)
+	withBarrier.H(0).H(1).Barrier().H(0).H(1)
+	without := circuit.New("nb", 2)
+	without.H(0).H(1).H(0).H(1)
+	pb, err := m.Compile(withBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := m.Compile(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The barrier occupies no moment, so neither circuit accrues idle
+	// time and the channel sequences agree op for op (barrier skipped).
+	if !pb.Empty() || !pn.Empty() {
+		t.Fatalf("lockstep gates accrued idle noise: barrier=%v plain=%v", pb.Empty(), pn.Empty())
+	}
+}

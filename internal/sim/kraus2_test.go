@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ddsim/internal/circuit"
+	"ddsim/internal/noise"
+	"ddsim/internal/sim"
+)
+
+// randomKraus2 draws a random 4×4 operator with a positive branch
+// probability for the current state: a random Pauli-pair mixture
+// branch scaled to keep the test numerically honest.
+func randomUnitary2(rng *rand.Rand) [4][4]complex128 {
+	// Gram–Schmidt on a random complex matrix gives a Haar-ish 4×4
+	// unitary — enough for a differential test.
+	var m [4][4]complex128
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for k := 0; k < i; k++ {
+			var dot complex128
+			for j := 0; j < 4; j++ {
+				dot += cmplx.Conj(m[k][j]) * m[i][j]
+			}
+			for j := 0; j < 4; j++ {
+				m[i][j] -= dot * m[k][j]
+			}
+		}
+		var norm float64
+		for j := 0; j < 4; j++ {
+			norm += real(m[i][j])*real(m[i][j]) + imag(m[i][j])*imag(m[i][j])
+		}
+		norm = math.Sqrt(norm)
+		for j := 0; j < 4; j++ {
+			m[i][j] /= complex(norm, 0)
+		}
+	}
+	return m
+}
+
+// TestApplyKraus2BackendsAgree drives the two-qubit Kraus path of all
+// three backends with random unitaries on random states and compares
+// every basis probability — the differential proof that the dd and
+// sparse embeddings implement the same operator convention as the
+// dense reference.
+func TestApplyKraus2BackendsAgree(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		seed := int64(100 + trial)
+		n := 3 + trial%3
+		c := randomCircuit(n, 12, seed)
+		rng := rand.New(rand.NewSource(seed))
+		q0 := rng.Intn(n)
+		q1 := (q0 + 1 + rng.Intn(n-1)) % n
+		u := randomUnitary2(rng)
+
+		backends := map[string]sim.Backend{}
+		for name, f := range factories() {
+			b := runAll(t, f, c)
+			b.ApplyKraus2(q0, q1, u, 1)
+			backends[name] = b
+		}
+		ref := backends["statevec"]
+		dim := 1 << n
+		for name, b := range backends {
+			if name == "statevec" {
+				continue
+			}
+			for i := 0; i < dim; i++ {
+				if d := math.Abs(b.Probability(uint64(i)) - ref.Probability(uint64(i))); d > 1e-9 {
+					t.Fatalf("trial %d: %s deviates from statevec at basis %d by %g (q0=%d q1=%d)",
+						trial, name, i, d, q0, q1)
+				}
+			}
+		}
+		if n2 := ref.Norm2(); math.Abs(n2-1) > 1e-9 {
+			t.Fatalf("trial %d: unitary Kraus op broke the norm: %v", trial, n2)
+		}
+	}
+}
+
+// TestApplyKraus2PauliPairMatchesApplyPauli pins the operand
+// convention: ApplyKraus2 with the matrix of P0⊗P1 (q0 on the high
+// bit) must equal ApplyPauli(P0, q0) then ApplyPauli(P1, q1), up to
+// global phase, on every backend.
+func TestApplyKraus2PauliPairMatchesApplyPauli(t *testing.T) {
+	c := randomCircuit(4, 14, 42)
+	paulis := []sim.Pauli{sim.PauliI, sim.PauliX, sim.PauliY, sim.PauliZ}
+	for name, f := range factories() {
+		for _, p0 := range paulis {
+			for _, p1 := range paulis {
+				viaKraus := runAll(t, f, c)
+				viaKraus.ApplyKraus2(1, 3, noise.PauliPairMat(p0, p1), 1)
+				viaPauli := runAll(t, f, c)
+				viaPauli.ApplyPauli(p0, 1)
+				viaPauli.ApplyPauli(p1, 3)
+				for i := 0; i < 16; i++ {
+					a, b := viaKraus.Probability(uint64(i)), viaPauli.Probability(uint64(i))
+					if math.Abs(a-b) > 1e-12 {
+						t.Fatalf("%s: P0=%v P1=%v basis %d: kraus %v vs pauli %v",
+							name, p0, p1, i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyKraus2BranchProbRenormalises checks the branchProb
+// contract: applying a sub-normalised branch operator √p·(P⊗P') with
+// branchProb p restores a unit-norm state.
+func TestApplyKraus2BranchProbRenormalises(t *testing.T) {
+	p := 0.3
+	scale := complex(math.Sqrt(p), 0)
+	for name, f := range factories() {
+		b := runAll(t, f, circuit.GHZ(4))
+		u := noise.PauliPairMat(sim.PauliX, sim.PauliZ)
+		for i := range u {
+			for j := range u[i] {
+				u[i][j] *= scale
+			}
+		}
+		b.ApplyKraus2(0, 2, u, p)
+		if n2 := b.Norm2(); math.Abs(n2-1) > 1e-9 {
+			t.Errorf("%s: norm² = %v after renormalised branch", name, n2)
+		}
+	}
+}

@@ -236,6 +236,60 @@ func (b *Backend) ApplyDamping(qubit int, p float64, fire bool, branchProb float
 	}
 }
 
+// ApplyKraus2 implements sim.Backend — again via operator
+// materialisation: the 4×4 operator on (q0, q1) becomes a full-size
+// CSR matrix with up to four entries per row, so the scratch buffers
+// (sized for two entries per row by the single-target gates) are
+// grown on first use.
+func (b *Backend) ApplyKraus2(q0, q1 int, k [4][4]complex128, branchProb float64) {
+	if branchProb <= 0 {
+		panic("sparsemat: ApplyKraus2 with non-positive branch probability")
+	}
+	dim := uint64(len(b.v))
+	if uint64(len(b.cols)) < 4*dim {
+		b.cols = make([]int64, 4*dim)
+		b.vals = make([]complex128, 4*dim)
+	}
+	m0 := uint64(1) << uint(b.n-1-q0)
+	m1 := uint64(1) << uint(b.n-1-q1)
+	nnz := int32(0)
+	for row := uint64(0); row < dim; row++ {
+		b.rowptr[row] = nnz
+		ri := 0
+		if row&m0 != 0 {
+			ri |= 2
+		}
+		if row&m1 != 0 {
+			ri |= 1
+		}
+		base := row &^ (m0 | m1)
+		for cj := 0; cj < 4; cj++ {
+			val := k[ri][cj]
+			if val == 0 {
+				continue
+			}
+			col := base
+			if cj&2 != 0 {
+				col |= m0
+			}
+			if cj&1 != 0 {
+				col |= m1
+			}
+			b.cols[nnz] = int64(col)
+			b.vals[nnz] = val
+			nnz++
+		}
+	}
+	b.rowptr[dim] = nnz
+	b.matvec()
+	if branchProb != 1 {
+		s := complex(1/math.Sqrt(branchProb), 0)
+		for i := range b.v {
+			b.v[i] *= s
+		}
+	}
+}
+
 // SampleBasis implements sim.Backend.
 func (b *Backend) SampleBasis(rng *rand.Rand) uint64 {
 	r := rng.Float64()

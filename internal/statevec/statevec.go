@@ -183,6 +183,38 @@ func (b *Backend) ApplyDamping(qubit int, p float64, fire bool, branchProb float
 	}
 }
 
+// ApplyKraus2 implements sim.Backend: the 4×4 update runs over all
+// amplitude quadruples selected by the two target bits, with q0 on
+// the high bit of the 2-qubit sub-basis.
+func (b *Backend) ApplyKraus2(q0, q1 int, k [4][4]complex128, branchProb float64) {
+	if branchProb <= 0 {
+		panic("statevec: ApplyKraus2 with non-positive branch probability")
+	}
+	m0 := uint64(1) << b.bitOf(q0)
+	m1 := uint64(1) << b.bitOf(q1)
+	pair := m0 | m1
+	dim := uint64(len(b.v))
+	for i := uint64(0); i < dim; i++ {
+		if i&pair != 0 {
+			continue
+		}
+		a0 := b.v[i]
+		a1 := b.v[i|m1]
+		a2 := b.v[i|m0]
+		a3 := b.v[i|pair]
+		b.v[i] = k[0][0]*a0 + k[0][1]*a1 + k[0][2]*a2 + k[0][3]*a3
+		b.v[i|m1] = k[1][0]*a0 + k[1][1]*a1 + k[1][2]*a2 + k[1][3]*a3
+		b.v[i|m0] = k[2][0]*a0 + k[2][1]*a1 + k[2][2]*a2 + k[2][3]*a3
+		b.v[i|pair] = k[3][0]*a0 + k[3][1]*a1 + k[3][2]*a2 + k[3][3]*a3
+	}
+	if branchProb != 1 {
+		s := complex(1/math.Sqrt(branchProb), 0)
+		for i := range b.v {
+			b.v[i] *= s
+		}
+	}
+}
+
 // SampleBasis implements sim.Backend.
 func (b *Backend) SampleBasis(rng *rand.Rand) uint64 {
 	r := rng.Float64()

@@ -86,9 +86,14 @@ func (p *ckptPlan) worthwhile() bool {
 // noise model can act. Conditions are evaluated against the all-zero
 // classical register, which is exact inside the prefix: classical bits
 // only change at measurements, and every measurement is a random site
-// that ends the prefix.
-func analyzeCheckpoint(c *circuit.Circuit, model noise.Model) ckptPlan {
-	noisy := model.Enabled()
+// that ends the prefix. Extended models route through their compiled
+// channel plan (nplan); an empty plan — an extended model whose
+// channels all vanished on this circuit — is treated as noise-free.
+func analyzeCheckpoint(c *circuit.Circuit, model noise.Model, nplan *noise.Plan) ckptPlan {
+	if nplan != nil && !nplan.Empty() {
+		return analyzePlanned(c, nplan)
+	}
+	noisy := nplan == nil && model.Enabled()
 	plan := ckptPlan{split: len(c.Ops), deferred: -1}
 	for i := range c.Ops {
 		op := &c.Ops[i]
@@ -117,6 +122,40 @@ func analyzeCheckpoint(c *circuit.Circuit, model noise.Model) ckptPlan {
 					}
 				}
 			}
+			return plan
+		}
+	}
+	return plan
+}
+
+// analyzePlanned is the prefix analysis for a compiled extended-model
+// plan: the prefix ends at the first operation carrying any channel.
+// Pre-gate (idle) channels fire before their gate's unitary, so such
+// a gate cannot be folded into the checkpoint; a gate with only
+// post-gate channels is folded in with its noise roll deferred,
+// exactly like the uniform path.
+func analyzePlanned(c *circuit.Circuit, nplan *noise.Plan) ckptPlan {
+	plan := ckptPlan{split: len(c.Ops), deferred: -1}
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Cond != nil && !condHolds(op.Cond, 0) {
+			continue
+		}
+		switch op.Kind {
+		case circuit.KindGate:
+			on := nplan.At(i)
+			if on != nil && len(on.Pre) > 0 {
+				plan.split = i
+				return plan
+			}
+			plan.prefixGates++
+			if on != nil {
+				plan.split = i + 1
+				plan.deferred = i
+				return plan
+			}
+		case circuit.KindMeasure, circuit.KindReset:
+			plan.split = i
 			return plan
 		}
 	}
@@ -153,13 +192,14 @@ type ckptStats struct {
 // by forking from checkpoints. It is single-goroutine, like the
 // backend it drives.
 type ckptRunner struct {
-	backend sim.Backend
-	forker  sim.Forker
-	sizer   sim.StateSizer // nil when the backend cannot report cost
-	circ    *circuit.Circuit
-	model   noise.Model
-	plan    ckptPlan
-	qubits  [][]int // precomputed per-op qubit lists (jobState.opQubits)
+	backend   sim.Backend
+	forker    sim.Forker
+	sizer     sim.StateSizer // nil when the backend cannot report cost
+	circ      *circuit.Circuit
+	model     noise.Model
+	noisePlan *noise.Plan // compiled extended-model channels, or nil
+	plan      ckptPlan
+	qubits    [][]int // precomputed per-op qubit lists (jobState.opQubits)
 
 	base sim.State           // the shared deterministic-prefix checkpoint
 	segs map[segKey]segState // multi-level cache; nil when disabled
@@ -173,14 +213,15 @@ type ckptRunner struct {
 // multi-level cache when the plan has later random sites. It returns
 // the runner and the number of gate applications the construction
 // executed (the engine feeds that into the gate telemetry).
-func newCkptRunner(backend sim.Backend, forker sim.Forker, c *circuit.Circuit, model noise.Model, plan ckptPlan, qubits [][]int) (*ckptRunner, int) {
+func newCkptRunner(backend sim.Backend, forker sim.Forker, c *circuit.Circuit, model noise.Model, nplan *noise.Plan, plan ckptPlan, qubits [][]int) (*ckptRunner, int) {
 	r := &ckptRunner{
-		backend: backend,
-		forker:  forker,
-		circ:    c,
-		model:   model,
-		plan:    plan,
-		qubits:  qubits,
+		backend:   backend,
+		forker:    forker,
+		circ:      c,
+		model:     model,
+		noisePlan: nplan,
+		plan:      plan,
+		qubits:    qubits,
 	}
 	r.sizer, _ = backend.(sim.StateSizer)
 	backend.Reset()
@@ -223,22 +264,28 @@ func (r *ckptRunner) noteRetained(s sim.State) {
 // run executes one trajectory by forking from the prefix checkpoint.
 // rng and clbits have the same contract as runOne; the trajectory
 // consumes the identical random stream.
-func (r *ckptRunner) run(rng *rand.Rand, clbits []uint64, st *ckptStats) {
+func (r *ckptRunner) run(rng *rand.Rand, clbits []uint64, st *ckptStats, counts *noise.ChannelCounts) {
 	r.forker.Restore(r.base)
 	clbits[0] = 0
 	st.forks++
 	st.skipped += r.plan.prefixGates
 	if d := r.plan.deferred; d >= 0 {
-		var q []int
-		if r.qubits != nil {
-			q = r.qubits[d]
+		if r.noisePlan != nil {
+			if on := r.noisePlan.At(d); on != nil {
+				on.ApplyPost(r.backend, rng, counts)
+			}
 		} else {
-			q = r.circ.Ops[d].Qubits()
+			var q []int
+			if r.qubits != nil {
+				q = r.qubits[d]
+			} else {
+				q = r.circ.Ops[d].Qubits()
+			}
+			r.model.ApplyAfterGate(r.backend, q, rng)
 		}
-		r.model.ApplyAfterGate(r.backend, q, rng)
 	}
 	if r.segs == nil {
-		st.applied += runRange(r.backend, r.circ, r.model, rng, clbits, r.qubits, r.plan.split, len(r.circ.Ops))
+		st.applied += runRange(r.backend, r.circ, r.model, r.noisePlan, rng, clbits, r.qubits, r.plan.split, len(r.circ.Ops), counts)
 		return
 	}
 	r.runSegmented(rng, clbits, st)

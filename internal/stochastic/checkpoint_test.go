@@ -74,7 +74,7 @@ func TestAnalyzeCheckpoint(t *testing.T) {
 
 	noisy := noise.PaperDefaults()
 	t.Run("noise-free", func(t *testing.T) {
-		p := analyzeCheckpoint(bv, noise.Model{})
+		p := analyzeCheckpoint(bv, noise.Model{}, nil)
 		if p.split != firstMeasure || p.deferred != -1 {
 			t.Fatalf("split=%d deferred=%d, want split=%d deferred=-1", p.split, p.deferred, firstMeasure)
 		}
@@ -89,7 +89,7 @@ func TestAnalyzeCheckpoint(t *testing.T) {
 		}
 	})
 	t.Run("noisy", func(t *testing.T) {
-		p := analyzeCheckpoint(bv, noisy)
+		p := analyzeCheckpoint(bv, noisy, nil)
 		if p.split != 1 || p.deferred != 0 || p.prefixGates != 1 {
 			t.Fatalf("split=%d deferred=%d prefixGates=%d, want 1/0/1", p.split, p.deferred, p.prefixGates)
 		}
@@ -100,7 +100,7 @@ func TestAnalyzeCheckpoint(t *testing.T) {
 	t.Run("measurement-first", func(t *testing.T) {
 		c := circuit.New("m_first", 2)
 		c.Measure(0, 0).H(1)
-		p := analyzeCheckpoint(c, noise.Model{})
+		p := analyzeCheckpoint(c, noise.Model{}, nil)
 		if p.split != 0 || p.prefixGates != 0 {
 			t.Fatalf("split=%d prefixGates=%d, want 0/0", p.split, p.prefixGates)
 		}
@@ -109,7 +109,7 @@ func TestAnalyzeCheckpoint(t *testing.T) {
 		}
 	})
 	t.Run("fully-deterministic", func(t *testing.T) {
-		p := analyzeCheckpoint(circuit.GHZ(5), noise.Model{})
+		p := analyzeCheckpoint(circuit.GHZ(5), noise.Model{}, nil)
 		if p.split != len(circuit.GHZ(5).Ops) || len(p.sites) != 0 {
 			t.Fatalf("split=%d sites=%v, want whole circuit and no sites", p.split, p.sites)
 		}
@@ -215,7 +215,7 @@ func TestCheckpointAdaptiveEquivalence(t *testing.T) {
 // account for — while staying bit-identical to the plain replay.
 func TestMultiLevelSegmentCheckpoints(t *testing.T) {
 	c := dynamicCircuit()
-	plan := analyzeCheckpoint(c, noise.Model{})
+	plan := analyzeCheckpoint(c, noise.Model{}, nil)
 	if len(plan.sites) < 3 || plan.tailGates == 0 {
 		t.Fatalf("bad workload for this test: plan %+v", plan)
 	}

@@ -177,6 +177,12 @@ type jobState struct {
 	// loop. Read-only once built, so workers share it safely.
 	opQubits [][]int
 
+	// plan is the compiled per-op channel plan for extended noise
+	// models (device calibration, crosstalk, idle noise, twirling);
+	// nil for uniform models, which keep the legacy fast path and its
+	// exact RNG stream. Read-only once built, so workers share it.
+	plan *noise.Plan
+
 	// Guarded by engine.mu:
 	next         int       // next run index to dispatch
 	done         int       // completed runs
@@ -243,6 +249,13 @@ func prepareJob(job Job) (*jobState, error) {
 		for i := range job.Circuit.Ops {
 			js.opQubits[i] = job.Circuit.Ops[i].Qubits()
 		}
+	}
+	if job.Model.Extended() {
+		plan, err := job.Model.Compile(job.Circuit)
+		if err != nil {
+			return nil, err
+		}
+		js.plan = plan
 	}
 	return js, nil
 }
@@ -420,7 +433,7 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 		}
 		// Reference trajectory: same circuit, no noise, fixed seed so
 		// every worker derives the identical state.
-		refGates := runOne(backend, js.job.Circuit, noise.Model{}, rand.New(rand.NewSource(js.job.Opts.Seed)), wb.clbits, nil)
+		refGates := runOne(backend, js.job.Circuit, noise.Model{}, nil, rand.New(rand.NewSource(js.job.Opts.Seed)), wb.clbits, nil, nil)
 		telemetry.GateApplications.Add(int64(refGates))
 		wb.ref = s.Snapshot()
 		wb.snapper = s
@@ -432,9 +445,9 @@ func (e *engine) compile(js *jobState) (*compiled, error) {
 			return nil, fmt.Errorf("stochastic: backend %q cannot checkpoint (Options.Checkpointing %q needs sim.Forker)",
 				backend.Name(), mode)
 		case ok:
-			plan := analyzeCheckpoint(js.job.Circuit, js.job.Model)
+			plan := analyzeCheckpoint(js.job.Circuit, js.job.Model, js.plan)
 			if mode == CheckpointOn || plan.worthwhile() {
-				ckpt, prefixGates := newCkptRunner(backend, forker, js.job.Circuit, js.job.Model, plan, js.opQubits)
+				ckpt, prefixGates := newCkptRunner(backend, forker, js.job.Circuit, js.job.Model, js.plan, plan, js.opQubits)
 				telemetry.GateApplications.Add(int64(prefixGates))
 				wb.ckpt = ckpt
 				e.mu.Lock()
@@ -464,6 +477,7 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 	acc := newAccumulator(len(opts.TrackStates))
 	deadlineHit := false
 	var st ckptStats
+	var chanCounts noise.ChannelCounts
 	for k := 0; k < count; k++ {
 		if e.ctx.Err() != nil {
 			break
@@ -475,9 +489,9 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 		wb.rngSrc.Seed(opts.Seed + int64(first+k))
 		rng := wb.rng
 		if wb.ckpt != nil {
-			wb.ckpt.run(rng, wb.clbits, &st)
+			wb.ckpt.run(rng, wb.clbits, &st, &chanCounts)
 		} else {
-			st.applied += runOne(wb.backend, js.job.Circuit, js.job.Model, rng, wb.clbits, js.opQubits)
+			st.applied += runOne(wb.backend, js.job.Circuit, js.job.Model, js.plan, rng, wb.clbits, js.opQubits, &chanCounts)
 		}
 		acc.runs++
 		for s := 0; s < opts.Shots; s++ {
@@ -497,6 +511,11 @@ func (e *engine) runChunk(js *jobState, wb *compiled, first, count int) {
 	telemetry.GateApplications.Add(int64(st.applied))
 	telemetry.CheckpointGatesSkipped.Add(int64(st.skipped))
 	telemetry.CheckpointForks.Add(int64(st.forks))
+	for l, n := range chanCounts {
+		if n > 0 {
+			telemetry.NoiseChannelApplications.With(noise.Labels[l]).Add(n)
+		}
+	}
 	wb.reportTableStats()
 }
 

@@ -102,6 +102,13 @@ var (
 	ExactChannelApplications = NewCounter("ddsim_exact_channel_applications_total",
 		"Error-channel applications executed by the exact density-matrix engine.")
 
+	// NoiseChannelApplications counts noise-channel applications by
+	// channel kind (depolarizing / damping / phaseflip / twirled /
+	// idle / crosstalk): sampled channel draws in the stochastic
+	// engine, exact channel applications in the density-matrix engine.
+	NoiseChannelApplications = NewCounterVec("ddsim_noise_channel_applications_total",
+		"Noise-channel applications, by channel kind.", "kind")
+
 	// ExactBranches is the high-water mark of simultaneously tracked
 	// outcome-history branches in one exact-engine job (measurements
 	// and classical conditions fork branches; equal classical histories

@@ -116,6 +116,101 @@ func TestDifferentialOracleStochasticWithinTheorem1Radius(t *testing.T) {
 	}
 }
 
+// oracleDevice builds an in-code calibration table sized for the
+// extended-channel oracle circuits.
+func oracleDevice(n int) *ddsim.Device {
+	d := &ddsim.Device{
+		Name:        fmt.Sprintf("oracle-%dq", n),
+		GateTimesNs: map[string]float64{"h": 35, "cx": 300},
+		GateErrors:  map[string]float64{"cx": 0.015, "*": 0.001},
+	}
+	for q := 0; q < n; q++ {
+		d.Qubits = append(d.Qubits, ddsim.DeviceQubit{
+			T1us: 60 + 10*float64(q%4),
+			T2us: 50 + 15*float64(q%3),
+		})
+	}
+	return d
+}
+
+// TestDifferentialOracleExtendedChannels extends the Theorem-1 oracle
+// to the extended channel vocabulary: calibrated per-qubit device
+// noise, correlated crosstalk, time-dependent idle decay and
+// Pauli-twirled damping each run through the compiled-plan stochastic
+// path — both sampling backends, checkpointing on and off — and must
+// land within the confidence radius of the exact density-matrix
+// result for the same model.
+func TestDifferentialOracleExtendedChannels(t *testing.T) {
+	cases := []struct {
+		name   string
+		bench  qbench.Benchmark
+		oracle string
+		model  ddsim.NoiseModel
+	}{
+		{"device", qbench.GHZ(8), ddsim.ExactDDensity,
+			ddsim.NoiseModel{Device: oracleDevice(8)}},
+		{"crosstalk", qbench.QFT(8), ddsim.ExactDensity,
+			ddsim.NoiseModel{Depolarizing: 0.005,
+				Crosstalk: &ddsim.Crosstalk{Strength: 0.02, ZZBias: 0.5}}},
+		{"idle", qbench.GHZ(8), ddsim.ExactDDensity,
+			ddsim.NoiseModel{Damping: 0.01,
+				Idle: &ddsim.IdleNoise{Damping: 0.005, Dephasing: 0.01}}},
+		{"twirled", qbench.QFT(8), ddsim.ExactDensity,
+			ddsim.PaperNoise().Twirl()},
+		{"combined", qbench.GHZ(8), ddsim.ExactDDensity,
+			ddsim.NoiseModel{
+				Device:    oracleDevice(8),
+				Crosstalk: &ddsim.Crosstalk{Strength: 0.01, ZZBias: 0.25},
+				Idle:      &ddsim.IdleNoise{MomentNs: 100},
+				Twirled:   true,
+			}},
+	}
+	backends := []string{ddsim.BackendDD, ddsim.BackendStatevector}
+	checkpoints := []string{ddsim.CheckpointOn, ddsim.CheckpointOff}
+
+	for _, oc := range cases {
+		oc := oc
+		t.Run(oc.name, func(t *testing.T) {
+			t.Parallel()
+			n := oc.bench.Circuit.NumQubits
+			tracked := trackedStates(n)
+			exactRes, err := ddsim.Simulate(oc.bench.Circuit, ddsim.BackendDD, oc.model, ddsim.Options{
+				Mode:         ddsim.ModeExact,
+				ExactBackend: oc.oracle,
+				TrackStates:  tracked,
+			})
+			if err != nil {
+				t.Fatalf("exact oracle: %v", err)
+			}
+			for _, backend := range backends {
+				for _, ckpt := range checkpoints {
+					opts := ddsim.Options{
+						Runs:          600,
+						Seed:          11,
+						TrackStates:   tracked,
+						Checkpointing: ckpt,
+					}
+					res, err := ddsim.Simulate(oc.bench.Circuit, backend, oc.model, opts)
+					if err != nil {
+						t.Fatalf("%s/ckpt=%s: %v", backend, ckpt, err)
+					}
+					if res.ConfidenceRadius <= 0 {
+						t.Fatalf("%s: no confidence radius", backend)
+					}
+					for i, idx := range tracked {
+						diff := math.Abs(res.TrackedProbs[i] - exactRes.TrackedProbs[i])
+						if diff > res.ConfidenceRadius {
+							t.Errorf("%s/ckpt=%s: |ô−o| = %.5f for state %d exceeds the Theorem-1 radius ±%.5f (est %.5f, exact %.5f)",
+								backend, ckpt, diff, idx,
+								res.ConfidenceRadius, res.TrackedProbs[i], exactRes.TrackedProbs[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // randomDynamicCircuit builds a small random circuit with mid-circuit
 // measurements and resets — the territory where the exact engine's
 // outcome-history branching does real work.
